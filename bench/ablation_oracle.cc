@@ -1,0 +1,52 @@
+// The price of unknown demands: the paper's premise is that memory demands
+// are unknown at submission ([3]), which is what makes unsuitable placements
+// — and hence the blocking problem — possible. This ablation compares
+// G-Loadsharing and V-Reconfiguration against an oracle that knows every
+// job's peak working set in advance: the gap between G-Loadsharing and the
+// oracle is the total damage of demand uncertainty; how much of that gap
+// V-Reconfiguration recovers is the paper's contribution in one number.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  vrc::bench::SweepOptions options;
+  options.trace_from = 3;
+  options.trace_to = 5;
+  std::string group_name = "spec";
+  vrc::util::FlagSet flags;
+  flags.add_string("group", &group_name, "workload group: spec | apps");
+  if (!vrc::bench::parse_sweep_flags(argc, argv, &options, &flags)) return 1;
+
+  vrc::workload::WorkloadGroup group;
+  if (!vrc::workload::parse_workload_group(group_name, &group)) return 1;
+  const auto config =
+      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
+
+  using vrc::util::Table;
+  Table table({"trace", "T_exe G-LS (s)", "T_exe V-Recon (s)", "T_exe Oracle (s)",
+               "uncertainty cost", "recovered by V-Recon"});
+  for (int index = options.trace_from; index <= options.trace_to; ++index) {
+    const auto trace = vrc::workload::standard_trace(group, index,
+                                                     static_cast<std::uint32_t>(options.nodes));
+    const auto gls =
+        vrc::core::run_policy_on_trace(vrc::core::PolicyKind::kGLoadSharing, trace, config);
+    const auto vrc_report =
+        vrc::core::run_policy_on_trace(vrc::core::PolicyKind::kVReconfiguration, trace, config);
+    const auto oracle =
+        vrc::core::run_policy_on_trace(vrc::core::PolicyKind::kOracleDemands, trace, config);
+    const double gap = gls.total_execution - oracle.total_execution;
+    const double recovered =
+        gap > 0.0 ? (gls.total_execution - vrc_report.total_execution) / gap : 0.0;
+    table.add_row({trace.name(), Table::fmt(gls.total_execution, 0),
+                   Table::fmt(vrc_report.total_execution, 0),
+                   Table::fmt(oracle.total_execution, 0),
+                   Table::pct(vrc::metrics::reduction(gls.total_execution,
+                                                      oracle.total_execution)),
+                   Table::pct(recovered)});
+  }
+  std::printf("The price of unknown demands — %s group, %d workstations\n", group_name.c_str(),
+              options.nodes);
+  vrc::bench::emit(table, options);
+  std::printf("'uncertainty cost' = how much faster an oracle with known demands finishes;\n"
+              "'recovered' = the share of that gap V-Reconfiguration closes\n");
+  return 0;
+}

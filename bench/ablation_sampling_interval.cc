@@ -1,0 +1,44 @@
+// §4.1/§4.2 methodology check: the average idle-memory volume and the
+// average job-balance skew are insensitive to the sampling interval. The
+// paper repeats its 1 s measurements at 10 s, 30 s, and 1 min and reports
+// "almost identical average values"; this bench regenerates that check.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  vrc::bench::SweepOptions options;
+  int trace_index = 3;
+  std::string group_name = "spec";
+  vrc::util::FlagSet flags;
+  flags.add_int("trace", &trace_index, "standard trace index 1..5");
+  flags.add_string("group", &group_name, "workload group: spec | apps");
+  if (!vrc::bench::parse_sweep_flags(argc, argv, &options, &flags)) return 1;
+
+  vrc::workload::WorkloadGroup group;
+  if (!vrc::workload::parse_workload_group(group_name, &group)) return 1;
+
+  const auto trace = vrc::workload::standard_trace(group, trace_index,
+                                                   static_cast<std::uint32_t>(options.nodes));
+  const auto config =
+      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
+  vrc::core::ExperimentOptions experiment;
+  experiment.collector.sampling_intervals = {1.0, 10.0, 30.0, 60.0};
+
+  using vrc::util::Table;
+  Table table({"policy", "interval (s)", "avg idle memory (MB)", "avg balance skew",
+               "samples"});
+  for (auto kind : {vrc::core::PolicyKind::kGLoadSharing,
+                    vrc::core::PolicyKind::kVReconfiguration}) {
+    const auto report = vrc::core::run_policy_on_trace(kind, trace, config, experiment);
+    for (std::size_t i = 0; i < report.idle_memory_mb.size(); ++i) {
+      table.add_row({report.policy, Table::fmt(report.idle_memory_mb[i].interval, 0),
+                     Table::fmt(report.idle_memory_mb[i].average, 1),
+                     Table::fmt(report.balance_skew[i].average, 3),
+                     std::to_string(report.idle_memory_mb[i].samples)});
+    }
+  }
+  std::printf("Sampling-interval insensitivity — %s, %d workstations\n", trace.name().c_str(),
+              options.nodes);
+  vrc::bench::emit(table, options);
+  std::printf("paper: averages at 10 s / 30 s / 1 min almost identical to the 1 s values\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Robustness of the headline comparison across trace realizations: the
+// paper evaluates one collected trace per (group, rate) pair; this ablation
+// regenerates each standard trace shape with several seeds and reports the
+// spread of V-Reconfiguration's reductions, separating the policy effect
+// from trace-sampling noise.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  vrc::bench::SweepOptions options;
+  int seeds = 2;
+  std::string group_name = "spec";
+  vrc::util::FlagSet flags;
+  flags.add_int("seeds", &seeds, "trace realizations per shape");
+  flags.add_string("group", &group_name, "workload group: spec | apps");
+  if (!vrc::bench::parse_sweep_flags(argc, argv, &options, &flags)) return 1;
+
+  vrc::workload::WorkloadGroup group;
+  if (!vrc::workload::parse_workload_group(group_name, &group)) return 1;
+  const auto config =
+      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
+
+  using vrc::util::Table;
+  Table table({"trace shape", "exec red. mean", "exec red. min", "exec red. max",
+               "queue red. mean", "slowdown red. mean"});
+  for (int index = options.trace_from; index <= options.trace_to; ++index) {
+    const auto shape = vrc::workload::standard_trace_shape(index);
+    double exec_sum = 0, exec_min = 1e9, exec_max = -1e9, queue_sum = 0, slow_sum = 0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      vrc::workload::TraceParams params;
+      params.name = vrc::bench::standard_trace_name(group, index);
+      params.group = group;
+      params.sigma = shape.sigma;
+      params.mu = shape.mu;
+      params.num_jobs = shape.num_jobs;
+      params.duration = shape.duration;
+      params.num_nodes = static_cast<std::uint32_t>(options.nodes);
+      params.seed = 7700 + static_cast<std::uint64_t>(100 * index + seed);
+      const auto trace = vrc::workload::generate_trace(params);
+      const auto c = vrc::core::compare_policies(vrc::core::PolicyKind::kGLoadSharing,
+                                                 vrc::core::PolicyKind::kVReconfiguration,
+                                                 trace, config);
+      const double e = c.execution_reduction();
+      exec_sum += e;
+      exec_min = std::min(exec_min, e);
+      exec_max = std::max(exec_max, e);
+      queue_sum += c.queue_reduction();
+      slow_sum += c.slowdown_reduction();
+    }
+    const double n = seeds;
+    table.add_row({vrc::bench::standard_trace_name(group, index), Table::pct(exec_sum / n),
+                   Table::pct(exec_min), Table::pct(exec_max), Table::pct(queue_sum / n),
+                   Table::pct(slow_sum / n)});
+  }
+  std::printf("Seed robustness — %s group, %d seeds per shape\n", group_name.c_str(), seeds);
+  vrc::bench::emit(table, options);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// §1 alternative-solution ablation: "One simple solution would be to
+// temporarily suspend the large jobs... However, this approach will not be
+// fair to the large jobs that may starve." This bench compares the
+// suspension baseline against virtual reconfiguration on overall metrics
+// and on the slowdown of the large jobs specifically (the fairness axis).
+#include "bench_common.h"
+
+#include "workload/catalog.h"
+
+namespace {
+
+/// Mean slowdown of jobs whose working set marks them as large.
+double big_job_slowdown(const vrc::metrics::RunReport& report, vrc::Bytes threshold) {
+  double sum = 0.0;
+  int count = 0;
+  for (const auto& job : report.jobs) {
+    if (job.working_set >= threshold) {
+      sum += job.slowdown();
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vrc::bench::SweepOptions options;
+  options.trace_from = 3;
+  options.trace_to = 4;
+  std::string group_name = "spec";
+  vrc::util::FlagSet flags;
+  flags.add_string("group", &group_name, "workload group: spec | apps");
+  if (!vrc::bench::parse_sweep_flags(argc, argv, &options, &flags)) return 1;
+
+  vrc::workload::WorkloadGroup group;
+  if (!vrc::workload::parse_workload_group(group_name, &group)) return 1;
+  const auto config =
+      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
+  const vrc::Bytes big_threshold =
+      group == vrc::workload::WorkloadGroup::kSpec ? vrc::megabytes(150) : vrc::megabytes(40);
+
+  using vrc::util::Table;
+  Table table({"trace", "policy", "T_exe (s)", "avg slowdown", "big-job slowdown",
+               "suspensions"});
+  for (int index = options.trace_from; index <= options.trace_to; ++index) {
+    const auto trace = vrc::workload::standard_trace(group, index,
+                                                     static_cast<std::uint32_t>(options.nodes));
+    for (auto kind : {vrc::core::PolicyKind::kGLoadSharing, vrc::core::PolicyKind::kSuspension,
+                      vrc::core::PolicyKind::kVReconfiguration}) {
+      const auto report = vrc::core::run_policy_on_trace(kind, trace, config);
+      double suspensions = 0.0;
+      for (const auto& [key, value] : report.policy_stats) {
+        if (key == "suspensions") suspensions = value;
+      }
+      table.add_row({trace.name(), report.policy, Table::fmt(report.total_execution, 0),
+                     Table::fmt(report.avg_slowdown),
+                     Table::fmt(big_job_slowdown(report, big_threshold)),
+                     Table::fmt(suspensions, 0)});
+    }
+  }
+  std::printf("Suspension vs reconfiguration — %s group, %d workstations\n", group_name.c_str(),
+              options.nodes);
+  vrc::bench::emit(table, options);
+  std::printf("paper §1/§2.2: suspension starves large jobs; reconfiguration serves them on\n"
+              "reserved workstations, so their slowdown stays bounded\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace vrc::bench {
+
+bool parse_sweep_flags(int argc, const char* const* argv, SweepOptions* options,
+                       util::FlagSet* flags) {
+  util::FlagSet local;
+  util::FlagSet& set = flags ? *flags : local;
+  set.add_int("nodes", &options->nodes, "number of workstations per cluster");
+  set.add_bool("csv", &options->csv, "emit CSV instead of an ASCII table");
+  set.add_int("trace-from", &options->trace_from, "first standard trace index (1..5)");
+  set.add_int("trace-to", &options->trace_to, "last standard trace index (1..5)");
+  set.add_double("sampling-interval", &options->sampling_interval,
+                 "idle-memory / skew sampling interval in seconds");
+  if (!set.parse(argc, argv)) return false;
+  if (options->trace_from < 1 || options->trace_to > 5 ||
+      options->trace_from > options->trace_to) {
+    std::fprintf(stderr, "trace range must satisfy 1 <= from <= to <= 5\n");
+    return false;
+  }
+  return true;
+}
+
+std::vector<SweepResult> run_group_sweep(workload::WorkloadGroup group,
+                                         const SweepOptions& options) {
+  std::vector<SweepResult> results;
+  const cluster::ClusterConfig config =
+      core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
+  core::ExperimentOptions experiment;
+  experiment.collector.sampling_intervals = {options.sampling_interval};
+  for (int index = options.trace_from; index <= options.trace_to; ++index) {
+    const workload::Trace trace =
+        workload::standard_trace(group, index, static_cast<std::uint32_t>(options.nodes));
+    SweepResult result;
+    result.trace_index = index;
+    result.comparison =
+        core::compare_policies(core::PolicyKind::kGLoadSharing,
+                               core::PolicyKind::kVReconfiguration, trace, config, experiment);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+void emit(const util::Table& table, const SweepOptions& options) {
+  std::fputs(options.csv ? table.to_csv().c_str() : table.to_ascii().c_str(), stdout);
+}
+
+std::string standard_trace_name(workload::WorkloadGroup group, int index) {
+  return (group == workload::WorkloadGroup::kSpec ? std::string("SPEC-Trace-")
+                                                  : std::string("App-Trace-")) +
+         std::to_string(index);
+}
+
+}  // namespace vrc::bench

@@ -1,0 +1,47 @@
+// Shared plumbing for the bench binaries: flag parsing and the standard
+// five-trace sweep each figure of the paper is built from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "workload/trace_generator.h"
+
+namespace vrc::bench {
+
+/// Common bench flags.
+struct SweepOptions {
+  int nodes = 32;
+  bool csv = false;           // emit CSV instead of the ASCII table
+  int trace_from = 1;
+  int trace_to = 5;
+  double sampling_interval = 1.0;
+};
+
+/// Parses the standard flags (--nodes, --csv, --trace-from, --trace-to).
+/// Additional flags can be registered on `flags` before the call. Returns
+/// false if parsing failed (the binary should exit 1).
+bool parse_sweep_flags(int argc, const char* const* argv, SweepOptions* options,
+                       util::FlagSet* flags = nullptr);
+
+/// One (trace index, baseline, ours) result row.
+struct SweepResult {
+  int trace_index;
+  core::Comparison comparison;
+};
+
+/// Runs G-Loadsharing vs V-Reconfiguration on standard traces
+/// [trace_from, trace_to] of `group` on the paper's matching cluster.
+std::vector<SweepResult> run_group_sweep(workload::WorkloadGroup group,
+                                         const SweepOptions& options);
+
+/// Prints `table` as ASCII or CSV per the options.
+void emit(const util::Table& table, const SweepOptions& options);
+
+/// Name of a standard trace ("SPEC-Trace-3" / "App-Trace-3").
+std::string standard_trace_name(workload::WorkloadGroup group, int index);
+
+}  // namespace vrc::bench

@@ -1,0 +1,32 @@
+// Figure 1 of the paper: total execution times (left) and total queuing
+// times (right) of the five workload-group-1 traces on a 32-workstation
+// cluster, G-Loadsharing vs V-Reconfiguration.
+//
+// Paper reference points (reductions by V-Reconfiguration):
+//   execution: 29.3% / 32.4% / 32.4% / 30.3% / 27.4%
+//   queuing:   24.8% / 35.8% / 36.7% / 34.0% / 38.2%
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  vrc::bench::SweepOptions options;
+  if (!vrc::bench::parse_sweep_flags(argc, argv, &options)) return 1;
+
+  const auto results =
+      vrc::bench::run_group_sweep(vrc::workload::WorkloadGroup::kSpec, options);
+
+  using vrc::util::Table;
+  Table table({"trace", "T_exe G-LS (s)", "T_exe V-Recon (s)", "exec reduction",
+               "T_que G-LS (s)", "T_que V-Recon (s)", "queue reduction"});
+  for (const auto& r : results) {
+    const auto& c = r.comparison;
+    table.add_row({c.baseline.trace, Table::fmt(c.baseline.total_execution, 0),
+                   Table::fmt(c.ours.total_execution, 0), Table::pct(c.execution_reduction()),
+                   Table::fmt(c.baseline.total_queue, 0), Table::fmt(c.ours.total_queue, 0),
+                   Table::pct(c.queue_reduction())});
+  }
+  std::printf("Figure 1 — workload group 1 (SPEC), %d workstations\n", options.nodes);
+  vrc::bench::emit(table, options);
+  std::printf("paper: exec reductions 29.3/32.4/32.4/30.3/27.4%%, "
+              "queue reductions 24.8/35.8/36.7/34.0/38.2%%\n");
+  return 0;
+}

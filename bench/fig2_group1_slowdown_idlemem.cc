@@ -1,0 +1,33 @@
+// Figure 2 of the paper: average slowdowns (left) and average idle memory
+// volumes (right) for the five workload-group-1 traces, G-Loadsharing vs
+// V-Reconfiguration.
+//
+// Paper reference points (reductions by V-Reconfiguration):
+//   slowdown:    23.4% / 27.7% / 22.6% / 24.6% / 28.46%
+//   idle memory: 12.9% / 24.2% / 29.7% / 40.9% / 50.8%
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  vrc::bench::SweepOptions options;
+  if (!vrc::bench::parse_sweep_flags(argc, argv, &options)) return 1;
+
+  const auto results =
+      vrc::bench::run_group_sweep(vrc::workload::WorkloadGroup::kSpec, options);
+
+  using vrc::util::Table;
+  Table table({"trace", "slowdown G-LS", "slowdown V-Recon", "slowdown reduction",
+               "idle mem G-LS (MB)", "idle mem V-Recon (MB)", "idle mem reduction"});
+  for (const auto& r : results) {
+    const auto& c = r.comparison;
+    table.add_row({c.baseline.trace, Table::fmt(c.baseline.avg_slowdown),
+                   Table::fmt(c.ours.avg_slowdown), Table::pct(c.slowdown_reduction()),
+                   Table::fmt(c.baseline.avg_idle_memory_mb, 0),
+                   Table::fmt(c.ours.avg_idle_memory_mb, 0),
+                   Table::pct(c.idle_memory_reduction())});
+  }
+  std::printf("Figure 2 — workload group 1 (SPEC), %d workstations\n", options.nodes);
+  vrc::bench::emit(table, options);
+  std::printf("paper: slowdown reductions 23.4/27.7/22.6/24.6/28.46%%, "
+              "idle memory reductions 12.9/24.2/29.7/40.9/50.8%%\n");
+  return 0;
+}

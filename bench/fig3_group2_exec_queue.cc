@@ -1,0 +1,30 @@
+// Figure 3 of the paper: total execution times (left) and total queuing
+// times (right) of the five workload-group-2 traces, G-Loadsharing vs
+// V-Reconfiguration.
+//
+// Paper reference points: reductions concentrated on App-Trace-2 (13.4%
+// exec / 16.3% queue) and App-Trace-3 (14.0% / 16.8%); other traces modest.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  vrc::bench::SweepOptions options;
+  if (!vrc::bench::parse_sweep_flags(argc, argv, &options)) return 1;
+
+  const auto results =
+      vrc::bench::run_group_sweep(vrc::workload::WorkloadGroup::kApps, options);
+
+  using vrc::util::Table;
+  Table table({"trace", "T_exe G-LS (s)", "T_exe V-Recon (s)", "exec reduction",
+               "T_que G-LS (s)", "T_que V-Recon (s)", "queue reduction"});
+  for (const auto& r : results) {
+    const auto& c = r.comparison;
+    table.add_row({c.baseline.trace, Table::fmt(c.baseline.total_execution, 0),
+                   Table::fmt(c.ours.total_execution, 0), Table::pct(c.execution_reduction()),
+                   Table::fmt(c.baseline.total_queue, 0), Table::fmt(c.ours.total_queue, 0),
+                   Table::pct(c.queue_reduction())});
+  }
+  std::printf("Figure 3 — workload group 2 (applications), %d workstations\n", options.nodes);
+  vrc::bench::emit(table, options);
+  std::printf("paper: App-Trace-2 13.4%%/16.3%%, App-Trace-3 14.0%%/16.8%%, others modest\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 4 of the paper: average slowdowns (left) and average job balance
+// skews (right) for the five workload-group-2 traces, G-Loadsharing vs
+// V-Reconfiguration. The skew is the standard deviation of active-job counts
+// across non-reserved workstations, sampled every second and averaged.
+//
+// Paper reference points (reductions): slowdown 16.3/16.8/6.8% for traces
+// 2/3/4 (1 and 5 modest); skew 10.3/16.5/6.3% for traces 2/3/4.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  vrc::bench::SweepOptions options;
+  if (!vrc::bench::parse_sweep_flags(argc, argv, &options)) return 1;
+
+  const auto results =
+      vrc::bench::run_group_sweep(vrc::workload::WorkloadGroup::kApps, options);
+
+  using vrc::util::Table;
+  Table table({"trace", "slowdown G-LS", "slowdown V-Recon", "slowdown reduction",
+               "skew G-LS", "skew V-Recon", "skew reduction"});
+  for (const auto& r : results) {
+    const auto& c = r.comparison;
+    table.add_row({c.baseline.trace, Table::fmt(c.baseline.avg_slowdown),
+                   Table::fmt(c.ours.avg_slowdown), Table::pct(c.slowdown_reduction()),
+                   Table::fmt(c.baseline.avg_balance_skew),
+                   Table::fmt(c.ours.avg_balance_skew),
+                   Table::pct(c.balance_skew_reduction())});
+  }
+  std::printf("Figure 4 — workload group 2 (applications), %d workstations\n", options.nodes);
+  vrc::bench::emit(table, options);
+  std::printf("paper: slowdown reductions 16.3/16.8/6.8%% (traces 2-4), "
+              "skew reductions 10.3/16.5/6.3%%\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Engine micro-benchmarks (google-benchmark): event queue throughput,
+// workstation tick cost, trace generation, and a small end-to-end run. These
+// guard the simulator's performance envelope — a full Figure-1 sweep
+// executes hundreds of millions of node-ticks.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "core/experiment.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "workload/trace_generator.h"
+
+namespace {
+
+void BM_EventScheduleExecute(benchmark::State& state) {
+  vrc::sim::Simulator sim;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_after(static_cast<double>(i % 17), [&fired] { ++fired; });
+    }
+    sim.run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventScheduleExecute);
+
+void BM_EventCancel(benchmark::State& state) {
+  vrc::sim::Simulator sim;
+  std::vector<vrc::sim::EventId> ids;
+  ids.reserve(1000);
+  for (auto _ : state) {
+    ids.clear();
+    for (int i = 0; i < 1000; ++i) ids.push_back(sim.schedule_after(1e9, [] {}));
+    for (vrc::sim::EventId id : ids) sim.cancel(id);
+    sim.run();  // drains cancelled entries
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventCancel);
+
+void BM_RngLognormal(benchmark::State& state) {
+  vrc::sim::Rng rng(1);
+  double sum = 0.0;
+  for (auto _ : state) sum += rng.lognormal(3.0, 3.0);
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_WorkstationTick(benchmark::State& state) {
+  using namespace vrc;
+  const auto config = cluster::ClusterConfig::paper_cluster1(1);
+  cluster::Workstation node(0, config.nodes[0], config);
+  std::vector<workload::JobSpec> specs(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].id = static_cast<workload::JobId>(i + 1);
+    specs[i].cpu_seconds = 1e9;
+    specs[i].touch_rate = 200.0;
+    specs[i].memory = workload::MemoryProfile::constant(megabytes(120));
+    auto job = std::make_unique<cluster::RunningJob>();
+    job->spec = &specs[i];
+    job->phase = cluster::JobPhase::kRunning;
+    job->demand = specs[i].memory.demand_at(0.0);
+    node.add_job(std::move(job));
+  }
+  sim::Rng rng(1);
+  double now = 0.0;
+  for (auto _ : state) {
+    now += config.tick;
+    auto outcome = node.tick(now, config.tick, rng);
+    benchmark::DoNotOptimize(outcome.faults);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WorkstationTick)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    vrc::workload::TraceParams params;
+    params.num_jobs = 578;
+    params.seed = 3;
+    auto trace = vrc::workload::generate_trace(params);
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_EndToEndSmallRun(benchmark::State& state) {
+  using namespace vrc;
+  workload::TraceParams params;
+  params.num_jobs = 40;
+  params.duration = 600.0;
+  params.num_nodes = 4;
+  params.seed = 9;
+  const auto trace = workload::generate_trace(params);
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 4);
+  for (auto _ : state) {
+    auto report = core::run_policy_on_trace(core::PolicyKind::kVReconfiguration, trace, config);
+    benchmark::DoNotOptimize(report.total_execution);
+  }
+}
+BENCHMARK(BM_EndToEndSmallRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,63 @@
+// Table 2 of the paper: execution performance and memory-related data of the
+// seven scientific/system application programs (workload group 2) on the
+// 233 MHz / 128 MB reference workstation of paper cluster 2.
+#include "bench_common.h"
+
+#include "cluster/cluster.h"
+#include "workload/catalog.h"
+
+namespace {
+
+double dedicated_runtime(const vrc::workload::ProgramSpec& program) {
+  using namespace vrc;
+  class Dedicated : public cluster::SchedulerPolicy {
+   public:
+    const char* name() const override { return "dedicated"; }
+    void on_job_arrival(cluster::Cluster& cluster, cluster::RunningJob& job) override {
+      cluster.place_local(job, 0);
+    }
+  };
+  sim::Simulator sim;
+  Dedicated policy;
+  cluster::Cluster cluster(
+      sim, cluster::ClusterConfig::homogeneous(1, {program.reference_mhz, megabytes(128),
+                                                   megabytes(128), megabytes(16)},
+                                               program.reference_mhz),
+      policy);
+  workload::JobSpec spec;
+  spec.id = 1;
+  spec.program = program.name;
+  spec.cpu_seconds = program.lifetime;
+  spec.touch_rate = program.touch_rate;
+  spec.memory = program.profile();
+  cluster.submit_job(spec);
+  sim.run_until(program.lifetime * 10.0 + 100.0);
+  return cluster.completed().empty() ? -1.0 : cluster.completed()[0].wall_clock();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vrc::bench::SweepOptions options;
+  if (!vrc::bench::parse_sweep_flags(argc, argv, &options)) return 1;
+
+  using vrc::util::Table;
+  Table table({"program", "description", "data size", "working set (MB)", "lifetime (s)",
+               "dedicated run (s)", "page touches/s", "mix share"});
+  double total_weight = 0.0;
+  const auto& programs = vrc::workload::catalog(vrc::workload::WorkloadGroup::kApps);
+  for (const auto& p : programs) total_weight += p.mix_weight;
+  for (const auto& p : programs) {
+    std::string ws = p.has_range()
+                         ? Table::fmt(vrc::to_megabytes(p.working_set_min), 1) + "-" +
+                               Table::fmt(vrc::to_megabytes(p.working_set), 1)
+                         : Table::fmt(vrc::to_megabytes(p.working_set), 1);
+    table.add_row({p.name, p.description, p.input, ws, Table::fmt(p.lifetime, 1),
+                   Table::fmt(dedicated_runtime(p), 1), Table::fmt(p.touch_rate, 0),
+                   Table::pct(p.mix_weight / total_weight)});
+  }
+  std::printf("Table 2 — application programs (workload group 2), measured on the\n"
+              "233 MHz / 128 MB reference workstation of paper cluster 2\n");
+  vrc::bench::emit(table, options);
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "analysis/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrc::analysis {
+
+Breakdown breakdown_of(const metrics::RunReport& report) {
+  Breakdown b;
+  b.cpu = report.total_cpu;
+  b.page = report.total_page;
+  b.queue = report.total_queue;
+  b.migration = report.total_migration;
+  return b;
+}
+
+double ModelDelta::approximation_error() const {
+  const double realized = gain();
+  if (realized == 0.0) return 0.0;
+  return std::abs(approximate_gain() - realized) / std::abs(realized);
+}
+
+ModelDelta compare_runs(const metrics::RunReport& baseline, const metrics::RunReport& ours) {
+  ModelDelta delta;
+  delta.d_cpu = baseline.total_cpu - ours.total_cpu;
+  delta.d_page = baseline.total_page - ours.total_page;
+  delta.d_queue = baseline.total_queue - ours.total_queue;
+  delta.d_migration = baseline.total_migration - ours.total_migration;
+  return delta;
+}
+
+double reserved_queue_fifo_bound(const std::vector<double>& waits) {
+  // waits[j-1] = w_kj for j = 1..Q; the bound is sum over j of (Q - j) w_kj.
+  const double q = static_cast<double>(waits.size());
+  double bound = 0.0;
+  for (std::size_t j = 1; j <= waits.size(); ++j) {
+    bound += (q - static_cast<double>(j)) * waits[j - 1];
+  }
+  return bound;
+}
+
+double reserved_queue_min_bound(std::vector<double> waits) {
+  // Larger coefficients (Q - j) multiply earlier positions, so putting the
+  // smallest waits first minimizes the sum — w_k1 < w_k2 < ... < w_kQ, the
+  // ordering §5 says is "easy to nearly achieve" when few jobs are large.
+  std::sort(waits.begin(), waits.end());
+  return reserved_queue_fifo_bound(waits);
+}
+
+}  // namespace vrc::analysis

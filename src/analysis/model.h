@@ -1,0 +1,80 @@
+// Analytic performance model of the paper's §5.
+//
+// The total execution time of a workload decomposes as
+//   T_exe = T_cpu + T_page + T_que + T_mig,
+// and with virtual reconfiguration (hatted quantities):
+//   T_exe - T̂_exe ≈ (T_page - T̂_page) + (T_que - T̂_que)
+// because CPU demand is identical and the migration-time difference is
+// insignificant. The queuing time under reconfiguration splits into the
+// non-reserved part plus a FIFO bound per reserved workstation:
+//   T̂_que = T̂ⁿ_que + Σ_k g(Q_r(k)),   g(Q_r(k)) ≤ Σ_j (Q_r(k) - j) w_kj.
+//
+// This module evaluates these formulas from simulation output so the claims
+// ("the difference is positive exactly when the non-reserved queuing time
+// shrinks enough", "the bound is minimized by ascending waits") can be
+// verified mechanically.
+#pragma once
+
+#include <vector>
+
+#include "metrics/report.h"
+
+namespace vrc::analysis {
+
+/// The §5 decomposition of one run.
+struct Breakdown {
+  double cpu = 0.0;
+  double page = 0.0;
+  double queue = 0.0;
+  double migration = 0.0;
+
+  double total() const { return cpu + page + queue + migration; }
+};
+
+/// Extracts the decomposition from a run report.
+Breakdown breakdown_of(const metrics::RunReport& report);
+
+/// Differences (baseline minus reconfigured) of each §5 term.
+struct ModelDelta {
+  double d_cpu = 0.0;
+  double d_page = 0.0;
+  double d_queue = 0.0;
+  double d_migration = 0.0;
+
+  /// T_exe - T̂_exe, the realized gain.
+  double gain() const { return d_cpu + d_page + d_queue + d_migration; }
+
+  /// The model's approximation (drops the CPU and migration terms).
+  double approximate_gain() const { return d_page + d_queue; }
+
+  /// Relative error of the approximation against the realized gain.
+  double approximation_error() const;
+};
+
+ModelDelta compare_runs(const metrics::RunReport& baseline, const metrics::RunReport& ours);
+
+/// FIFO queuing bound for one reserved workstation: waits w[j] is the time
+/// between the arrival of job j+1 and the completion of job j (0-indexed
+/// input, j = 1..Q in the paper). Returns Σ_j (Q - j) * w[j-1].
+double reserved_queue_fifo_bound(const std::vector<double>& waits);
+
+/// §5 note: the bound is minimized when waits are ascending. Returns the
+/// bound after sorting ascending — the best achievable ordering.
+double reserved_queue_min_bound(std::vector<double> waits);
+
+/// The §5 gain condition: with the paging reduction and the reserved-queue
+/// bound, the gain is positive if T_que (baseline) exceeds the reconfigured
+/// non-reserved queuing time plus the reserved bound.
+struct GainCondition {
+  double baseline_queue = 0.0;       // T_que
+  double non_reserved_queue = 0.0;   // T̂ⁿ_que
+  double reserved_bound = 0.0;       // Σ_k g(Q_r(k)) upper bound
+  bool predicts_gain() const {
+    return baseline_queue > non_reserved_queue + reserved_bound;
+  }
+  double predicted_lower_bound() const {
+    return baseline_queue - non_reserved_queue - reserved_bound;
+  }
+};
+
+}  // namespace vrc::analysis

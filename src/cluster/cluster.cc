@@ -1,0 +1,273 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "util/log.h"
+
+namespace vrc::cluster {
+
+Cluster::Cluster(sim::Simulator& sim, ClusterConfig config, SchedulerPolicy& policy)
+    : sim_(sim),
+      config_(std::move(config)),
+      policy_(policy),
+      network_(sim, config_),
+      board_(config_.num_nodes()),
+      rng_(config_.seed),
+      last_pressure_callback_(config_.num_nodes(), -1e18) {
+  nodes_.reserve(config_.num_nodes());
+  for (std::size_t i = 0; i < config_.num_nodes(); ++i) {
+    nodes_.push_back(
+        std::make_unique<Workstation>(static_cast<NodeId>(i), config_.nodes[i], config_));
+  }
+  handle_exchange(sim_.now());  // policies see a fresh board before any event
+  policy_.attach(*this);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::submit_trace(const workload::Trace& trace) {
+  for (const workload::JobSpec& spec : trace.jobs()) submit_job(spec);
+}
+
+void Cluster::submit_job(const workload::JobSpec& spec) {
+  specs_.push_back(spec);
+  const workload::JobSpec& stored = specs_.back();
+  ++expected_jobs_;
+  if (finished_ && completed_.size() < expected_jobs_) finished_ = false;
+  sim_.schedule_at(stored.submit_time, [this, &stored] { on_arrival(stored); });
+}
+
+void Cluster::on_arrival(const workload::JobSpec& spec) {
+  ensure_tasks_running();
+  auto job = std::make_unique<RunningJob>();
+  job->spec = &spec;
+  job->home_node = static_cast<NodeId>(spec.home_node % nodes_.size());
+  job->phase = JobPhase::kPending;
+  job->accounted_until = sim_.now();
+  job->demand = spec.memory.demand_at(0.0);
+  RunningJob& ref = *job;
+  pending_.push_back(std::move(job));
+  policy_.on_job_arrival(*this, ref);
+}
+
+void Cluster::ensure_tasks_running() {
+  if (tick_task_ && tick_task_->running()) return;
+  // Either first activation or a restart after finish; stopped tasks are
+  // replaced (PeriodicTask cannot be re-armed).
+  tick_task_.reset();
+  exchange_task_.reset();
+  policy_task_.reset();
+  const SimTime dt = config_.tick;
+  tick_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, sim_.now() + dt, dt, [this](SimTime now) { handle_tick(now); });
+  exchange_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, sim_.now() + config_.load_exchange_period, config_.load_exchange_period,
+      [this](SimTime now) { handle_exchange(now); });
+  policy_task_ = std::make_unique<sim::PeriodicTask>(
+      sim_, sim_.now() + config_.policy_period, config_.policy_period,
+      [this](SimTime) { policy_.on_periodic(*this); });
+}
+
+std::unique_ptr<RunningJob> Cluster::take_pending(JobId id) {
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if ((*it)->id() == id) {
+      std::unique_ptr<RunningJob> job = std::move(*it);
+      pending_.erase(it);
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+void Cluster::place_local(RunningJob& job, NodeId node_id) {
+  assert(job.phase == JobPhase::kPending);
+  std::unique_ptr<RunningJob> owned = take_pending(job.id());
+  assert(owned && "place_local: job not in pending queue");
+  const SimTime now = sim_.now();
+  owned->t_queue += now - owned->accounted_until;
+  owned->accounted_until = now;
+  owned->phase = JobPhase::kRunning;
+  ++local_placements_;
+  board_.note_placement(node_id, std::max(owned->demand, config_.admission_demand_estimate));
+  node(node_id).add_job(std::move(owned));
+}
+
+void Cluster::place_remote(RunningJob& job, NodeId node_id) {
+  assert(job.phase == JobPhase::kPending);
+  std::unique_ptr<RunningJob> owned = take_pending(job.id());
+  assert(owned && "place_remote: job not in pending queue");
+  const SimTime now = sim_.now();
+  owned->t_queue += now - owned->accounted_until;
+  owned->accounted_until = now;
+
+  Workstation& dst = node(node_id);
+  dst.add_incoming(owned->id(), owned->demand);
+  board_.note_placement(node_id, std::max(owned->demand, config_.admission_demand_estimate));
+  ++inflight_;
+  ++remote_submits_;
+
+  RunningJob* raw = owned.release();
+  network_.start_remote_submit([this, raw, node_id] {
+    std::unique_ptr<RunningJob> arrived(raw);
+    const SimTime done = sim_.now();
+    arrived->t_mig += done - arrived->accounted_until;
+    arrived->accounted_until = done;
+    arrived->phase = JobPhase::kRunning;
+    ++arrived->remote_submits;
+    Workstation& target = node(node_id);
+    target.remove_incoming(arrived->id());
+    target.add_job(std::move(arrived));
+    --inflight_;
+  });
+}
+
+bool Cluster::start_migration(NodeId src, JobId job_id, NodeId dst_id) {
+  Workstation& source = node(src);
+  RunningJob* job = source.find_job(job_id);
+  if (job == nullptr || job->phase != JobPhase::kRunning) return false;
+  if (src == dst_id) return false;
+
+  const SimTime now = sim_.now();
+  job->t_queue += now - job->accounted_until;
+  job->accounted_until = now;
+  job->phase = JobPhase::kMigrating;
+
+  const Bytes image = job->demand;
+  Workstation& dst = node(dst_id);
+  dst.add_incoming(job_id, image);
+  board_.note_placement(dst_id, image);  // migrated demand is known
+  ++inflight_;
+  ++migrations_started_;
+  VRC_LOG(kInfo) << "t=" << now << " migrate job " << job_id << " (" << to_megabytes(image)
+                 << " MB) node " << src << " -> " << dst_id;
+
+  network_.start_transfer(image, [this, src, job_id, dst_id] {
+    Workstation& source_node = node(src);
+    std::unique_ptr<RunningJob> moved = source_node.remove_job(job_id);
+    assert(moved && "migration completion: job vanished from source");
+    const SimTime done = sim_.now();
+    moved->t_mig += done - moved->accounted_until;
+    moved->accounted_until = done;
+    moved->phase = JobPhase::kRunning;
+    ++moved->migrations;
+    Workstation& target = node(dst_id);
+    target.remove_incoming(job_id);
+    RunningJob& ref = target.add_job(std::move(moved));
+    --inflight_;
+    policy_.on_migration_complete(*this, ref);
+  });
+  return true;
+}
+
+bool Cluster::suspend_job(NodeId node_id, JobId job_id) {
+  RunningJob* job = node(node_id).find_job(job_id);
+  if (job == nullptr || job->phase != JobPhase::kRunning) return false;
+  const SimTime now = sim_.now();
+  job->t_queue += now - job->accounted_until;
+  job->accounted_until = now;
+  job->phase = JobPhase::kSuspended;
+  ++job->suspensions;
+  return true;
+}
+
+bool Cluster::resume_job(NodeId node_id, JobId job_id) {
+  RunningJob* job = node(node_id).find_job(job_id);
+  if (job == nullptr || job->phase != JobPhase::kSuspended) return false;
+  const SimTime now = sim_.now();
+  job->t_queue += now - job->accounted_until;
+  job->accounted_until = now;
+  job->phase = JobPhase::kRunning;
+  return true;
+}
+
+void Cluster::set_reserved(NodeId node_id, bool reserved) {
+  node(node_id).set_reserved(reserved);
+  board_.set_reserved(node_id, reserved);
+}
+
+std::vector<RunningJob*> Cluster::pending_jobs() {
+  std::vector<RunningJob*> jobs;
+  jobs.reserve(pending_.size());
+  for (auto& job : pending_) jobs.push_back(job.get());
+  return jobs;
+}
+
+Bytes Cluster::live_idle_memory() const {
+  Bytes total = 0;
+  for (const auto& node : nodes_) {
+    total += std::max<Bytes>(0, node->user_memory() - node->resident_demand());
+  }
+  return total;
+}
+
+std::vector<int> Cluster::live_active_jobs(bool skip_reserved) const {
+  std::vector<int> counts;
+  counts.reserve(nodes_.size());
+  for (const auto& node : nodes_) {
+    if (skip_reserved && node->reserved()) continue;
+    counts.push_back(node->active_jobs());
+  }
+  return counts;
+}
+
+void Cluster::add_finish_callback(std::function<void(SimTime)> callback) {
+  finish_callbacks_.push_back(std::move(callback));
+}
+
+void Cluster::handle_tick(SimTime now) {
+  for (auto& node : nodes_) {
+    Workstation::TickOutcome outcome = node->tick(now, config_.tick, rng_);
+    for (auto& done : outcome.completed) complete_job(std::move(done), now);
+  }
+  for (auto& node : nodes_) {
+    if (!node->memory_pressured()) continue;
+    SimTime& last = last_pressure_callback_[node->id()];
+    if (now - last < config_.pressure_callback_interval) continue;
+    last = now;
+    policy_.on_node_pressure(*this, *node);
+  }
+  maybe_finish(now);
+}
+
+void Cluster::handle_exchange(SimTime now) {
+  for (const auto& node : nodes_) board_.update(node->snapshot(now));
+}
+
+void Cluster::complete_job(std::unique_ptr<RunningJob> job, SimTime now) {
+  CompletedJob record;
+  record.id = job->id();
+  record.program = job->spec->program;
+  record.submit_time = job->spec->submit_time;
+  record.completion_time = now;
+  record.cpu_seconds = job->spec->cpu_seconds;
+  record.t_cpu = job->t_cpu;
+  record.t_page = job->t_page;
+  record.t_queue = job->t_queue;
+  record.t_mig = job->t_mig;
+  record.faults = job->faults;
+  record.migrations = job->migrations;
+  record.remote_submits = job->remote_submits;
+  record.final_node = job->node;
+  record.working_set = job->spec->working_set();
+  completed_.push_back(record);
+  policy_.on_job_completed(*this, completed_.back());
+}
+
+void Cluster::maybe_finish(SimTime now) {
+  if (finished_) return;
+  if (completed_.size() < expected_jobs_) return;
+  if (!pending_.empty() || inflight_ != 0) return;
+  finished_ = true;
+  finish_time_ = now;
+  // stop(), not reset(): this runs inside the tick task's own callback, so
+  // the task object must outlive the call.
+  tick_task_->stop();
+  exchange_task_->stop();
+  policy_task_->stop();
+  for (auto& callback : finish_callbacks_) callback(now);
+}
+
+}  // namespace vrc::cluster

@@ -1,0 +1,134 @@
+// Cluster orchestrator: owns the workstations, the network, the load-index
+// board, and all job lifecycle bookkeeping; raises events to the bound
+// SchedulerPolicy and records per-job accounting for the metrics layer.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/load_index.h"
+#include "cluster/network.h"
+#include "cluster/policy.h"
+#include "cluster/running_job.h"
+#include "cluster/workstation.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace vrc::cluster {
+
+/// A simulated cluster bound to a simulator and a scheduling policy.
+///
+/// Typical use (the experiment runner in src/core wraps this):
+///   sim::Simulator sim;
+///   GLoadSharing policy;
+///   Cluster cluster(sim, ClusterConfig::paper_cluster1(), policy);
+///   cluster.submit_trace(trace);
+///   sim.run();
+///   ... read cluster.completed() ...
+class Cluster {
+ public:
+  Cluster(sim::Simulator& sim, ClusterConfig config, SchedulerPolicy& policy);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // --- workload submission ---
+  /// Schedules every job of the trace for arrival at its submit_time.
+  void submit_trace(const workload::Trace& trace);
+  /// Schedules a single job (specs are copied; arrival at spec.submit_time).
+  void submit_job(const workload::JobSpec& spec);
+
+  // --- operations for policies ---
+  /// Places a pending job on `node` with no transfer cost (local submission
+  /// at its home workstation). The job starts competing at the next tick.
+  void place_local(RunningJob& job, NodeId node);
+  /// Remote submission: charges the fixed cost r, then the job starts on
+  /// `node`. A slot and its current footprint are reserved immediately.
+  void place_remote(RunningJob& job, NodeId node);
+  /// Starts a preemptive migration of `job_id` from `src` to `dst` at cost
+  /// r + image/B. Returns false if the job is missing or already migrating.
+  bool start_migration(NodeId src, JobId job_id, NodeId dst);
+  /// Swaps a running job out entirely (suspension baseline): frees its
+  /// memory and CPU slot; the job makes no progress until resumed.
+  bool suspend_job(NodeId node, JobId job_id);
+  bool resume_job(NodeId node, JobId job_id);
+  /// Sets the virtual-reconfiguration reservation flag on a node.
+  void set_reserved(NodeId node, bool reserved);
+
+  // --- accessors ---
+  sim::Simulator& simulator() { return sim_; }
+  const ClusterConfig& config() const { return config_; }
+  Network& network() { return network_; }
+  const LoadInfoBoard& board() const { return board_; }
+  Workstation& node(NodeId id) { return *nodes_[id]; }
+  const Workstation& node(NodeId id) const { return *nodes_[id]; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Jobs awaiting placement (blocked submissions), oldest first.
+  std::vector<RunningJob*> pending_jobs();
+  std::size_t pending_count() const { return pending_.size(); }
+
+  /// Completed-job records, in completion order.
+  const std::vector<CompletedJob>& completed() const { return completed_; }
+  std::size_t submitted_count() const { return expected_jobs_; }
+  bool finished() const { return finished_; }
+  SimTime finish_time() const { return finish_time_; }
+
+  /// Live (not board-snapshot) cluster-wide idle memory; used by metric
+  /// samplers, not by policies.
+  Bytes live_idle_memory() const;
+  /// Live active-job counts, optionally skipping reserved nodes (the paper's
+  /// job-balance skew is over non-reserved workstations).
+  std::vector<int> live_active_jobs(bool skip_reserved) const;
+
+  /// Registers a callback invoked once when the last job completes.
+  void add_finish_callback(std::function<void(SimTime)> callback);
+
+  // --- cluster-level statistics ---
+  std::uint64_t migrations_started() const { return migrations_started_; }
+  std::uint64_t remote_submits() const { return remote_submits_; }
+  std::uint64_t local_placements() const { return local_placements_; }
+
+ private:
+  void on_arrival(const workload::JobSpec& spec);
+  void ensure_tasks_running();
+  void handle_tick(SimTime now);
+  void handle_exchange(SimTime now);
+  void complete_job(std::unique_ptr<RunningJob> job, SimTime now);
+  void maybe_finish(SimTime now);
+  std::unique_ptr<RunningJob> take_pending(JobId id);
+
+  sim::Simulator& sim_;
+  ClusterConfig config_;
+  SchedulerPolicy& policy_;
+  Network network_;
+  LoadInfoBoard board_;
+  sim::Rng rng_;
+
+  std::vector<std::unique_ptr<Workstation>> nodes_;
+  std::deque<workload::JobSpec> specs_;  // stable storage for submitted specs
+  std::vector<std::unique_ptr<RunningJob>> pending_;
+  std::vector<CompletedJob> completed_;
+  std::vector<SimTime> last_pressure_callback_;
+
+  std::unique_ptr<sim::PeriodicTask> tick_task_;
+  std::unique_ptr<sim::PeriodicTask> exchange_task_;
+  std::unique_ptr<sim::PeriodicTask> policy_task_;
+
+  std::size_t expected_jobs_ = 0;
+  std::size_t inflight_ = 0;  // remote submissions + migrations in transit
+  bool finished_ = false;
+  SimTime finish_time_ = 0.0;
+  std::vector<std::function<void(SimTime)>> finish_callbacks_;
+
+  std::uint64_t migrations_started_ = 0;
+  std::uint64_t remote_submits_ = 0;
+  std::uint64_t local_placements_ = 0;
+};
+
+}  // namespace vrc::cluster

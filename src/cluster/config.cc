@@ -1,0 +1,31 @@
+#include "cluster/config.h"
+
+namespace vrc::cluster {
+
+ClusterConfig ClusterConfig::homogeneous(std::size_t count, const NodeConfig& node,
+                                         double reference_mhz) {
+  ClusterConfig config;
+  config.nodes.assign(count, node);
+  config.reference_mhz = reference_mhz;
+  return config;
+}
+
+ClusterConfig ClusterConfig::paper_cluster1(std::size_t count) {
+  NodeConfig node;
+  node.cpu_mhz = 400.0;
+  node.memory = megabytes(384);
+  node.swap = megabytes(380);
+  return homogeneous(count, node, 400.0);
+}
+
+ClusterConfig ClusterConfig::paper_cluster2(std::size_t count) {
+  NodeConfig node;
+  node.cpu_mhz = 233.0;
+  node.memory = megabytes(128);
+  node.swap = megabytes(128);
+  ClusterConfig config = homogeneous(count, node, 233.0);
+  config.admission_demand_estimate = megabytes(18);
+  return config;
+}
+
+}  // namespace vrc::cluster

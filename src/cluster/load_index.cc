@@ -1,0 +1,27 @@
+#include "cluster/load_index.h"
+
+#include <algorithm>
+
+namespace vrc::cluster {
+
+void LoadInfoBoard::note_placement(NodeId node, Bytes estimated_demand) {
+  LoadInfo& info = infos_[node];
+  ++info.slots_used;
+  info.total_demand += estimated_demand;
+  info.idle_memory = std::max<Bytes>(0, info.idle_memory - estimated_demand);
+}
+
+Bytes LoadInfoBoard::cluster_idle_memory() const {
+  Bytes total = 0;
+  for (const LoadInfo& info : infos_) total += info.idle_memory;
+  return total;
+}
+
+Bytes LoadInfoBoard::average_user_memory() const {
+  if (infos_.empty()) return 0;
+  Bytes total = 0;
+  for (const LoadInfo& info : infos_) total += info.user_memory;
+  return total / static_cast<Bytes>(infos_.size());
+}
+
+}  // namespace vrc::cluster

@@ -1,0 +1,70 @@
+// Global load-index board.
+//
+// "Each workstation maintains a global load index file which contains CPU,
+// memory, and I/O load status information of other computing nodes. The load
+// sharing system periodically collects and distributes the load information."
+// We model one shared board refreshed every load_exchange_period; policies
+// read these (possibly stale) snapshots, never live node state, which
+// reproduces the staleness a real system would see.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.h"
+#include "workload/job.h"
+
+namespace vrc::cluster {
+
+using workload::NodeId;
+
+/// One node's published load snapshot.
+struct LoadInfo {
+  NodeId node = 0;
+  SimTime timestamp = 0.0;  // publication time
+  int active_jobs = 0;      // running (non-suspended) jobs
+  int slots_used = 0;       // active jobs + in-flight placements
+  Bytes user_memory = 0;
+  Bytes total_demand = 0;   // committed memory incl. in-flight placements
+  Bytes idle_memory = 0;    // max(0, user_memory - total_demand)
+  double fault_rate = 0.0;  // page faults/s (EMA)
+  bool reserved = false;    // virtual-reconfiguration reservation flag
+  bool pressured = false;   // memory-pressure predicate at publication time
+};
+
+/// The shared snapshot table.
+class LoadInfoBoard {
+ public:
+  explicit LoadInfoBoard(std::size_t num_nodes) : infos_(num_nodes) {}
+
+  void update(const LoadInfo& info) { infos_[info.node] = info; }
+
+  /// Sender-side bookkeeping: every scheduler immediately accounts a
+  /// placement it initiated (slot plus estimated demand) against its copy of
+  /// the board, so successive placements spread instead of dog-piling one
+  /// stale "lightly loaded" entry. The *actual* demand remains unknown until
+  /// the next exchange — which is what lets big jobs collide.
+  void note_placement(NodeId node, Bytes estimated_demand);
+
+  /// Reservations are control-path actions coordinated by the
+  /// reconfiguration routine, not subject to exchange staleness: the flag is
+  /// reflected on the board immediately.
+  void set_reserved(NodeId node, bool reserved) { infos_[node].reserved = reserved; }
+
+  const LoadInfo& info(NodeId node) const { return infos_[node]; }
+  const std::vector<LoadInfo>& all() const { return infos_; }
+  std::size_t size() const { return infos_.size(); }
+
+  /// Accumulated idle memory across the cluster — the quantity §2.1 compares
+  /// against the average user memory to decide whether reconfiguring can
+  /// help at all.
+  Bytes cluster_idle_memory() const;
+
+  /// Average per-workstation user memory.
+  Bytes average_user_memory() const;
+
+ private:
+  std::vector<LoadInfo> infos_;
+};
+
+}  // namespace vrc::cluster

@@ -1,0 +1,39 @@
+#include "cluster/network.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace vrc::cluster {
+
+Network::Network(sim::Simulator& sim, const ClusterConfig& config)
+    : sim_(sim),
+      bytes_per_sec_(mbps_to_bytes_per_sec(config.network_mbps)),
+      remote_submit_cost_(config.remote_submit_cost),
+      contention_(config.network_contention) {}
+
+SimTime Network::migration_cost(Bytes image) const {
+  return remote_submit_cost_ + static_cast<double>(image) / bytes_per_sec_;
+}
+
+SimTime Network::start_transfer(Bytes image, std::function<void()> done) {
+  ++transfers_;
+  bytes_ += image;
+  SimTime completion;
+  if (contention_) {
+    const SimTime start = std::max(sim_.now(), busy_until_);
+    completion = start + migration_cost(image);
+    busy_until_ = completion;
+  } else {
+    completion = sim_.now() + migration_cost(image);
+  }
+  sim_.schedule_at(completion, std::move(done));
+  return completion;
+}
+
+SimTime Network::start_remote_submit(std::function<void()> done) {
+  const SimTime completion = sim_.now() + remote_submit_cost_;
+  sim_.schedule_at(completion, std::move(done));
+  return completion;
+}
+
+}  // namespace vrc::cluster

@@ -1,0 +1,52 @@
+// Network cost model.
+//
+// The paper charges a fixed r = 0.1 s for a remote submission and
+// r + D/B for a preemptive migration (D = working-set image in bits,
+// B = 10 Mbps Ethernet). Optionally transfers serialize on the shared
+// segment (network_contention), an ablation beyond the paper's model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cluster/config.h"
+#include "sim/simulator.h"
+
+namespace vrc::cluster {
+
+/// Models the cluster interconnect. All durations come from the analytic
+/// cost model; completion callbacks fire through the simulator.
+class Network {
+ public:
+  Network(sim::Simulator& sim, const ClusterConfig& config);
+
+  /// Cost of migrating a memory image of `image` bytes: r + D/B.
+  SimTime migration_cost(Bytes image) const;
+
+  /// Cost of a remote submission (control message + remote exec setup): r.
+  SimTime remote_submit_cost() const { return remote_submit_cost_; }
+
+  /// Starts a bulk transfer of `image` bytes and invokes `done` when it
+  /// completes. With contention enabled the transfer queues behind earlier
+  /// transfers on the shared segment. Returns the completion time.
+  SimTime start_transfer(Bytes image, std::function<void()> done);
+
+  /// Starts a remote-submission control exchange; `done` fires after r.
+  SimTime start_remote_submit(std::function<void()> done);
+
+  // --- statistics ---
+  std::uint64_t transfers_started() const { return transfers_; }
+  Bytes bytes_transferred() const { return bytes_; }
+  SimTime busy_until() const { return busy_until_; }
+
+ private:
+  sim::Simulator& sim_;
+  double bytes_per_sec_;
+  SimTime remote_submit_cost_;
+  bool contention_;
+  SimTime busy_until_ = 0.0;
+  std::uint64_t transfers_ = 0;
+  Bytes bytes_ = 0;
+};
+
+}  // namespace vrc::cluster

@@ -1,0 +1,65 @@
+// Scheduler policy interface.
+//
+// The Cluster raises events (arrivals, completions, memory pressure, a
+// periodic pulse); a SchedulerPolicy responds by invoking placement and
+// migration operations on the Cluster. Concrete policies — the dynamic load
+// sharing baseline of [3] and the paper's virtual-reconfiguration extension —
+// live in src/core.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/running_job.h"
+
+namespace vrc::cluster {
+
+class Cluster;
+class Workstation;
+
+/// Inter-workstation scheduling policy. One instance drives one Cluster run.
+class SchedulerPolicy {
+ public:
+  virtual ~SchedulerPolicy() = default;
+
+  /// Short identifier used in reports (e.g. "G-Loadsharing").
+  virtual const char* name() const = 0;
+
+  /// Called once when the policy is bound to a cluster, before any event.
+  virtual void attach(Cluster& cluster) { (void)cluster; }
+
+  /// A job arrived at its home workstation. The policy must either place it
+  /// (place_local / remote_submit) or leave it pending; pending jobs are
+  /// re-offered via on_periodic.
+  virtual void on_job_arrival(Cluster& cluster, RunningJob& job) = 0;
+
+  /// A job finished; `record` is its final accounting.
+  virtual void on_job_completed(Cluster& cluster, const CompletedJob& record) {
+    (void)cluster;
+    (void)record;
+  }
+
+  /// `node` is memory-pressured (page-fault rate above threshold or demand
+  /// beyond user memory). Rate-limited per node by
+  /// config.pressure_callback_interval.
+  virtual void on_node_pressure(Cluster& cluster, Workstation& node) {
+    (void)cluster;
+    (void)node;
+  }
+
+  /// Periodic pulse (config.policy_period) while the simulation is active:
+  /// retry pending jobs, check reservation drains, etc.
+  virtual void on_periodic(Cluster& cluster) { (void)cluster; }
+
+  /// A migration finished; `job` is now running on its destination.
+  virtual void on_migration_complete(Cluster& cluster, RunningJob& job) {
+    (void)cluster;
+    (void)job;
+  }
+
+  /// Policy-specific counters for reports (e.g. reservations started).
+  virtual std::vector<std::pair<std::string, double>> stats() const { return {}; }
+};
+
+}  // namespace vrc::cluster

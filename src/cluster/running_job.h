@@ -1,0 +1,90 @@
+// Runtime state of a job inside the cluster.
+//
+// Accounting follows the paper's §5 decomposition exactly:
+//   t_exe(i) = t_cpu(i) + t_page(i) + t_que(i) + t_mig(i)
+// Every simulated wall-clock second a job is alive lands in exactly one of
+// the four buckets (an invariant the test suite checks).
+#pragma once
+
+#include "util/units.h"
+#include "workload/job.h"
+
+namespace vrc::cluster {
+
+using workload::JobId;
+using workload::NodeId;
+
+/// Where a job currently is in its lifecycle.
+enum class JobPhase {
+  kPending,    // arrived, no qualified workstation yet (blocked submission)
+  kRunning,    // active on a workstation
+  kMigrating,  // memory image in flight between workstations
+  kSuspended,  // swapped out by the suspension baseline policy
+};
+
+/// Mutable per-job simulation state. Owned by the Cluster (pending) or a
+/// Workstation (running).
+struct RunningJob {
+  const workload::JobSpec* spec = nullptr;
+  JobPhase phase = JobPhase::kPending;
+  NodeId node = workload::kInvalidNode;  // current / destination workstation
+  /// Home workstation, wrapped into this cluster's node range (a trace may
+  /// have been generated for a different cluster size).
+  NodeId home_node = 0;
+
+  SimTime cpu_done = 0.0;  // reference-CPU seconds of completed work
+  Bytes demand = 0;        // current memory demand (cached each tick)
+
+  // §5 breakdown accumulators (wall-clock seconds).
+  SimTime t_cpu = 0.0;
+  SimTime t_page = 0.0;
+  SimTime t_queue = 0.0;
+  SimTime t_mig = 0.0;
+
+  double faults = 0.0;   // total page faults generated
+  int migrations = 0;    // completed preemptive migrations
+  int remote_submits = 0;
+  int suspensions = 0;
+
+  /// Simulation time up to which this job's wall clock has been attributed
+  /// to the four buckets.
+  SimTime accounted_until = 0.0;
+
+  double progress() const {
+    return spec->cpu_seconds > 0.0 ? cpu_done / spec->cpu_seconds : 1.0;
+  }
+
+  Bytes demand_now() const { return spec->memory.demand_at(progress()); }
+
+  bool finished() const { return cpu_done + 1e-9 >= spec->cpu_seconds; }
+
+  SimTime remaining_cpu() const { return spec->cpu_seconds - cpu_done; }
+
+  JobId id() const { return spec->id; }
+};
+
+/// Immutable record of a finished job, kept for metrics.
+struct CompletedJob {
+  JobId id = 0;
+  std::string program;
+  SimTime submit_time = 0.0;
+  SimTime completion_time = 0.0;
+  SimTime cpu_seconds = 0.0;  // dedicated lifetime (slowdown denominator)
+  SimTime t_cpu = 0.0;
+  SimTime t_page = 0.0;
+  SimTime t_queue = 0.0;
+  SimTime t_mig = 0.0;
+  double faults = 0.0;
+  int migrations = 0;
+  int remote_submits = 0;
+  NodeId final_node = 0;
+  Bytes working_set = 0;
+
+  SimTime wall_clock() const { return completion_time - submit_time; }
+
+  /// The paper's headline metric: wall-clock execution time over CPU
+  /// execution time.
+  double slowdown() const { return cpu_seconds > 0.0 ? wall_clock() / cpu_seconds : 1.0; }
+};
+
+}  // namespace vrc::cluster

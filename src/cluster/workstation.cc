@@ -1,0 +1,218 @@
+#include "cluster/workstation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrc::cluster {
+
+Workstation::Workstation(NodeId id, const NodeConfig& hardware, const ClusterConfig& config)
+    : id_(id), hardware_(hardware), config_(&config) {
+  speed_factor_ = hardware_.cpu_mhz / config.reference_mhz;
+  rr_efficiency_ = config.quantum / (config.quantum + config.context_switch);
+}
+
+Bytes Workstation::resident_demand() const {
+  Bytes total = 0;
+  for (const auto& job : jobs_) {
+    if (job->phase != JobPhase::kSuspended) total += job->demand;
+  }
+  return total;
+}
+
+Bytes Workstation::idle_memory() const {
+  return std::max<Bytes>(0, user_memory() - committed_demand());
+}
+
+double Workstation::overcommit() const {
+  const Bytes resident = resident_demand();
+  if (resident <= user_memory() || resident == 0) return 0.0;
+  return static_cast<double>(resident - user_memory()) / static_cast<double>(resident);
+}
+
+int Workstation::active_jobs() const {
+  int count = 0;
+  for (const auto& job : jobs_) {
+    if (job->phase != JobPhase::kSuspended) ++count;
+  }
+  return count;
+}
+
+bool Workstation::memory_pressured() const {
+  return resident_demand() > user_memory() || fault_rate_ > config_->fault_rate_threshold;
+}
+
+bool Workstation::accepts_new_job(Bytes demand_hint) const {
+  if (reserved_) return false;
+  if (!has_free_slot()) return false;
+  if (memory_pressured()) return false;
+  // The memory threshold of [3]: keep headroom below user memory so running
+  // jobs' demand growth does not immediately overcommit the node.
+  const Bytes limit =
+      static_cast<Bytes>(config_->memory_threshold * static_cast<double>(user_memory()));
+  return committed_demand() + demand_hint < limit;
+}
+
+RunningJob& Workstation::add_job(std::unique_ptr<RunningJob> job) {
+  job->node = id_;
+  job->demand = job->demand_now();
+  jobs_.push_back(std::move(job));
+  return *jobs_.back();
+}
+
+std::unique_ptr<RunningJob> Workstation::remove_job(JobId id) {
+  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+    if ((*it)->id() == id) {
+      std::unique_ptr<RunningJob> job = std::move(*it);
+      jobs_.erase(it);
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+RunningJob* Workstation::find_job(JobId id) {
+  for (auto& job : jobs_) {
+    if (job->id() == id) return job.get();
+  }
+  return nullptr;
+}
+
+const RunningJob* Workstation::find_job(JobId id) const {
+  return const_cast<Workstation*>(this)->find_job(id);
+}
+
+RunningJob* Workstation::most_memory_intensive_job() {
+  RunningJob* best = nullptr;
+  for (auto& job : jobs_) {
+    if (job->phase != JobPhase::kRunning) continue;
+    if (!best || job->demand > best->demand) best = job.get();
+  }
+  return best;
+}
+
+void Workstation::add_incoming(JobId id, Bytes demand) {
+  incoming_.emplace_back(id, demand);
+  ++incoming_count_;
+  incoming_bytes_ += demand;
+}
+
+void Workstation::remove_incoming(JobId id) {
+  for (auto it = incoming_.begin(); it != incoming_.end(); ++it) {
+    if (it->first == id) {
+      --incoming_count_;
+      incoming_bytes_ -= it->second;
+      incoming_.erase(it);
+      return;
+    }
+  }
+}
+
+Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rng) {
+  TickOutcome outcome;
+
+  // Snapshot the sharing state at the start of the interval.
+  int runnable = 0;
+  for (const auto& job : jobs_) {
+    if (job->phase == JobPhase::kRunning) ++runnable;
+  }
+  const double overcommit_now = overcommit();
+  const double efficiency = runnable > 1 ? rr_efficiency_ : 1.0;
+  const SimTime interval_start = now - dt;
+
+  if (runnable > 0) cpu_busy_ += dt;
+
+  double tick_faults = 0.0;
+  for (std::size_t i = 0; i < jobs_.size();) {
+    RunningJob& job = *jobs_[i];
+    const SimTime from = std::max(job.accounted_until, interval_start);
+    const SimTime wall = now - from;
+    if (wall <= 0.0) {
+      ++i;
+      continue;
+    }
+
+    if (job.phase == JobPhase::kSuspended) {
+      job.t_queue += wall;
+      job.accounted_until = now;
+      ++i;
+      continue;
+    }
+    if (job.phase == JobPhase::kMigrating) {
+      // Attributed to t_mig when the transfer completes.
+      ++i;
+      continue;
+    }
+
+    // Round-robin share for this job's portion of the interval.
+    const double usable = efficiency * wall / static_cast<double>(runnable);
+    // Wall seconds per reference-CPU second: compute time at this node's
+    // speed plus page-fault stalls charged against the job's own turn.
+    // Fault exposure has a knee (config.fault_exposure_knee): cyclic working
+    // sets mean that once demand exceeds user memory, LRU evicts pages just
+    // before their reuse ([6]), so even a small relative deficit exposes a
+    // large share of page touches — a big-job collision collapses the node,
+    // which is the paper's blocking episode.
+    const double exposure =
+        overcommit_now <= 0.0
+            ? 0.0
+            : overcommit_now / (overcommit_now + config_->fault_exposure_knee);
+    const double fault_rate_per_ref_sec = job.spec->touch_rate * exposure;
+    const double stall_per_ref_sec = fault_rate_per_ref_sec * config_->page_fault_service;
+    const double wall_per_ref_sec = 1.0 / speed_factor_ + stall_per_ref_sec;
+    double progress = usable / wall_per_ref_sec;
+    progress = std::min(progress, job.remaining_cpu());
+
+    const double cpu_wall = progress / speed_factor_;
+    const double page_wall = progress * stall_per_ref_sec;
+    const double queue_wall = std::max(0.0, wall - cpu_wall - page_wall);
+
+    double faults = fault_rate_per_ref_sec * progress;
+    if (config_->stochastic_faults && faults > 0.0) {
+      faults = static_cast<double>(rng.poisson(faults));
+    }
+
+    job.cpu_done += progress;
+    job.t_cpu += cpu_wall;
+    job.t_page += page_wall;
+    job.t_queue += queue_wall;
+    job.faults += faults;
+    job.accounted_until = now;
+    job.demand = job.demand_now();
+    tick_faults += faults;
+
+    if (job.finished()) {
+      std::unique_ptr<RunningJob> done = std::move(jobs_[i]);
+      jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+      outcome.completed.push_back(std::move(done));
+      ++jobs_completed_;
+      continue;  // do not advance i; element replaced by the next one
+    }
+    ++i;
+  }
+
+  total_faults_ += tick_faults;
+  outcome.faults = tick_faults;
+
+  // EMA of the fault rate with time constant fault_rate_tau.
+  const double decay = std::exp(-dt / config_->fault_rate_tau);
+  fault_rate_ = fault_rate_ * decay + (1.0 - decay) * (tick_faults / dt);
+
+  return outcome;
+}
+
+LoadInfo Workstation::snapshot(SimTime now) const {
+  LoadInfo info;
+  info.node = id_;
+  info.timestamp = now;
+  info.active_jobs = active_jobs();
+  info.slots_used = slots_used();
+  info.user_memory = user_memory();
+  info.total_demand = committed_demand();
+  info.idle_memory = idle_memory();
+  info.fault_rate = fault_rate_;
+  info.reserved = reserved_;
+  info.pressured = memory_pressured();
+  return info;
+}
+
+}  // namespace vrc::cluster

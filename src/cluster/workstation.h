@@ -1,0 +1,118 @@
+// Workstation model: a multiprogrammed node with round-robin CPU sharing,
+// a paged memory system, and page-fault monitoring.
+//
+// Execution advances in fixed ticks (config.tick, 10 ms like the paper's
+// trace records). Per tick, runnable jobs share the CPU round-robin with
+// context-switch efficiency q/(q+c); when the node's resident demand exceeds
+// user memory, jobs incur page faults at touch_rate * overcommit per
+// CPU-second, each costing page_fault_service (DESIGN.md §5 substitution 2).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/config.h"
+#include "cluster/load_index.h"
+#include "cluster/running_job.h"
+#include "sim/rng.h"
+
+namespace vrc::cluster {
+
+/// One simulated workstation.
+class Workstation {
+ public:
+  Workstation(NodeId id, const NodeConfig& hardware, const ClusterConfig& config);
+
+  NodeId id() const { return id_; }
+  const NodeConfig& hardware() const { return hardware_; }
+
+  /// Memory available to user jobs (RAM minus kernel reservation).
+  Bytes user_memory() const { return hardware_.memory - hardware_.kernel_reserved; }
+
+  /// Execution speed relative to the workload's reference CPU.
+  double speed_factor() const { return speed_factor_; }
+
+  // --- memory state ---
+  /// Demand of resident jobs (running + migrating-out images; suspended jobs
+  /// are swapped out and do not count).
+  Bytes resident_demand() const;
+  /// Resident demand plus reservations for in-flight placements.
+  Bytes committed_demand() const { return resident_demand() + incoming_bytes_; }
+  Bytes idle_memory() const;
+  /// Overcommit fraction O = max(0, (resident - user) / resident).
+  double overcommit() const;
+
+  // --- occupancy ---
+  /// Jobs holding a CPU slot (running + migrating; suspended jobs are out).
+  int active_jobs() const;
+  /// Active jobs plus in-flight placements headed here.
+  int slots_used() const { return active_jobs() + incoming_count_; }
+  bool has_free_slot() const { return slots_used() < config_->cpu_threshold; }
+
+  // --- pressure monitoring ---
+  /// Page-fault rate (faults/s), exponential moving average.
+  double fault_rate() const { return fault_rate_; }
+  /// True when demand exceeds user memory or the fault rate crosses the
+  /// configured threshold — the condition that blocks submissions in [3].
+  bool memory_pressured() const;
+  /// Admission predicate of the dynamic load sharing scheme: a free job
+  /// slot, some idle memory beyond `demand_hint`, no pressure, not reserved.
+  bool accepts_new_job(Bytes demand_hint = 0) const;
+
+  // --- reservation flag (virtual reconfiguration) ---
+  bool reserved() const { return reserved_; }
+  void set_reserved(bool reserved) { reserved_ = reserved; }
+
+  // --- job management ---
+  RunningJob& add_job(std::unique_ptr<RunningJob> job);
+  std::unique_ptr<RunningJob> remove_job(JobId id);
+  RunningJob* find_job(JobId id);
+  const RunningJob* find_job(JobId id) const;
+  const std::vector<std::unique_ptr<RunningJob>>& jobs() const { return jobs_; }
+
+  /// The running job with the largest current memory demand
+  /// (find_most_memory_intensive_job() of the paper's framework), or nullptr.
+  RunningJob* most_memory_intensive_job();
+
+  // --- in-flight placement reservations ---
+  void add_incoming(JobId id, Bytes demand);
+  void remove_incoming(JobId id);
+  int incoming_count() const { return incoming_count_; }
+  Bytes incoming_bytes() const { return incoming_bytes_; }
+
+  // --- simulation ---
+  struct TickOutcome {
+    std::vector<std::unique_ptr<RunningJob>> completed;
+    double faults = 0.0;
+  };
+  /// Advances the interval [now - dt, now]. Returns completed jobs.
+  TickOutcome tick(SimTime now, SimTime dt, sim::Rng& rng);
+
+  /// Publishes the node's load snapshot.
+  LoadInfo snapshot(SimTime now) const;
+
+  // --- lifetime statistics ---
+  double total_faults() const { return total_faults_; }
+  SimTime cpu_busy_time() const { return cpu_busy_; }
+  std::uint64_t jobs_completed() const { return jobs_completed_; }
+
+ private:
+  NodeId id_;
+  NodeConfig hardware_;
+  const ClusterConfig* config_;
+  double speed_factor_;
+  double rr_efficiency_;  // q / (q + c)
+
+  std::vector<std::unique_ptr<RunningJob>> jobs_;
+  int incoming_count_ = 0;
+  Bytes incoming_bytes_ = 0;
+  std::vector<std::pair<JobId, Bytes>> incoming_;
+  bool reserved_ = false;
+
+  double fault_rate_ = 0.0;
+  double total_faults_ = 0.0;
+  SimTime cpu_busy_ = 0.0;
+  std::uint64_t jobs_completed_ = 0;
+};
+
+}  // namespace vrc::cluster

@@ -1,0 +1,65 @@
+#include "core/baselines.h"
+
+namespace vrc::core {
+
+bool LocalOnly::try_place(Cluster& cluster, RunningJob& job) {
+  Workstation& home = cluster.node(job.home_node);
+  // Conventional multiprogramming: only the CPU threshold gates admission;
+  // memory oversubscription simply thrashes.
+  if (home.slots_used() < cluster.config().cpu_threshold) {
+    cluster.place_local(job, home.id());
+    return true;
+  }
+  return false;
+}
+
+void LocalOnly::on_job_arrival(Cluster& cluster, RunningJob& job) { try_place(cluster, job); }
+
+void LocalOnly::on_periodic(Cluster& cluster) {
+  for (RunningJob* job : cluster.pending_jobs()) {
+    try_place(cluster, *job);  // each home queue drains independently
+  }
+}
+
+void SuspensionPolicy::on_node_pressure(Cluster& cluster, Workstation& node) {
+  if (try_migrate_from(cluster, node)) return;
+  ++failed_migrations_;
+  if (node.active_jobs() <= options_.min_runnable) return;
+  RunningJob* victim = node.most_memory_intensive_job();
+  if (victim == nullptr) return;
+  if (cluster.suspend_job(node.id(), victim->id())) {
+    suspended_.push_back({node.id(), victim->id()});
+    ++suspensions_;
+  }
+}
+
+std::vector<std::pair<std::string, double>> SuspensionPolicy::stats() const {
+  auto stats = GLoadSharing::stats();
+  stats.emplace_back("suspensions", static_cast<double>(suspensions_));
+  stats.emplace_back("resumes", static_cast<double>(resumes_));
+  return stats;
+}
+
+void SuspensionPolicy::on_periodic(Cluster& cluster) {
+  GLoadSharing::on_periodic(cluster);
+  // Resume suspended jobs (oldest first) once their node has room again.
+  for (std::size_t i = 0; i < suspended_.size();) {
+    const Suspended entry = suspended_[i];
+    Workstation& node = cluster.node(entry.node);
+    RunningJob* job = node.find_job(entry.job);
+    if (job == nullptr || job->phase != cluster::JobPhase::kSuspended) {
+      suspended_.erase(suspended_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    const bool room = node.slots_used() < cluster.config().cpu_threshold &&
+                      node.idle_memory() >= job->demand && !node.memory_pressured();
+    if (room && cluster.resume_job(entry.node, entry.job)) {
+      ++resumes_;
+      suspended_.erase(suspended_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    ++i;
+  }
+}
+
+}  // namespace vrc::core

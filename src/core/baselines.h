@@ -1,0 +1,67 @@
+// Additional baseline policies used for context and ablation.
+//
+// LocalOnly: no load sharing at all — every job runs on its home
+// workstation, queueing for a slot (the "conventional multiprogramming"
+// world the load sharing literature starts from).
+//
+// SuspensionPolicy: the "simple solution" §1 of the paper rejects — when a
+// workstation is pressured and no migration destination exists, suspend
+// (swap out) the most memory-intensive job so submissions can flow again,
+// resuming it when the node has room. The paper argues this starves large
+// jobs; the ablation bench quantifies that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/g_load_sharing.h"
+
+namespace vrc::core {
+
+/// No inter-workstation scheduling: jobs wait for their home node.
+class LocalOnly : public cluster::SchedulerPolicy {
+ public:
+  const char* name() const override { return "Local-Only"; }
+
+  void on_job_arrival(Cluster& cluster, RunningJob& job) override;
+  void on_periodic(Cluster& cluster) override;
+
+ private:
+  bool try_place(Cluster& cluster, RunningJob& job);
+};
+
+/// Dynamic load sharing + brute-force suspension of big jobs.
+class SuspensionPolicy : public GLoadSharing {
+ public:
+  struct Options {
+    GLoadSharing::Options base;
+    /// A node keeps at least this many runnable jobs (never suspends the
+    /// last one).
+    int min_runnable = 1;
+  };
+
+  SuspensionPolicy() : SuspensionPolicy(Options{}) {}
+  explicit SuspensionPolicy(Options options) : GLoadSharing(options.base), options_(options) {}
+
+  const char* name() const override { return "Job-Suspension"; }
+
+  void on_node_pressure(Cluster& cluster, Workstation& node) override;
+  void on_periodic(Cluster& cluster) override;
+
+  std::uint64_t suspensions() const { return suspensions_; }
+  std::uint64_t resumes() const { return resumes_; }
+  std::vector<std::pair<std::string, double>> stats() const override;
+
+ private:
+  struct Suspended {
+    NodeId node;
+    JobId job;
+  };
+
+  Options options_;
+  std::vector<Suspended> suspended_;
+  std::uint64_t suspensions_ = 0;
+  std::uint64_t resumes_ = 0;
+};
+
+}  // namespace vrc::core

@@ -1,0 +1,98 @@
+#include "core/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vrc::core {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kGLoadSharing:
+      return "G-Loadsharing";
+    case PolicyKind::kVReconfiguration:
+      return "V-Reconfiguration";
+    case PolicyKind::kLocalOnly:
+      return "Local-Only";
+    case PolicyKind::kSuspension:
+      return "Job-Suspension";
+    case PolicyKind::kOracleDemands:
+      return "Oracle-Demands";
+  }
+  return "?";
+}
+
+std::unique_ptr<cluster::SchedulerPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kGLoadSharing:
+      return std::make_unique<GLoadSharing>();
+    case PolicyKind::kVReconfiguration:
+      return std::make_unique<VReconfiguration>();
+    case PolicyKind::kLocalOnly:
+      return std::make_unique<LocalOnly>();
+    case PolicyKind::kSuspension:
+      return std::make_unique<SuspensionPolicy>();
+    case PolicyKind::kOracleDemands:
+      return std::make_unique<OracleDemands>();
+  }
+  std::fprintf(stderr, "make_policy: unknown kind\n");
+  std::abort();
+}
+
+metrics::RunReport run_experiment(const workload::Trace& trace,
+                                  const cluster::ClusterConfig& config,
+                                  cluster::SchedulerPolicy& policy,
+                                  const ExperimentOptions& options) {
+  sim::Simulator sim;
+  cluster::Cluster cluster(sim, config, policy);
+  metrics::Collector collector(cluster, options.collector);
+  cluster.submit_trace(trace);
+  sim.run_until(options.max_sim_time);
+  collector.stop();
+  metrics::RunReport report = collector.report(trace.name(), policy.name());
+  report.policy_stats = policy.stats();
+  return report;
+}
+
+metrics::RunReport run_policy_on_trace(PolicyKind kind, const workload::Trace& trace,
+                                       const cluster::ClusterConfig& config,
+                                       const ExperimentOptions& options) {
+  std::unique_ptr<cluster::SchedulerPolicy> policy = make_policy(kind);
+  return run_experiment(trace, config, *policy, options);
+}
+
+cluster::ClusterConfig paper_cluster_for(workload::WorkloadGroup group, std::size_t nodes) {
+  return group == workload::WorkloadGroup::kSpec
+             ? cluster::ClusterConfig::paper_cluster1(nodes)
+             : cluster::ClusterConfig::paper_cluster2(nodes);
+}
+
+double Comparison::execution_reduction() const {
+  return metrics::reduction(baseline.total_execution, ours.total_execution);
+}
+
+double Comparison::queue_reduction() const {
+  return metrics::reduction(baseline.total_queue, ours.total_queue);
+}
+
+double Comparison::slowdown_reduction() const {
+  return metrics::reduction(baseline.avg_slowdown, ours.avg_slowdown);
+}
+
+double Comparison::idle_memory_reduction() const {
+  return metrics::reduction(baseline.avg_idle_memory_mb, ours.avg_idle_memory_mb);
+}
+
+double Comparison::balance_skew_reduction() const {
+  return metrics::reduction(baseline.avg_balance_skew, ours.avg_balance_skew);
+}
+
+Comparison compare_policies(PolicyKind baseline, PolicyKind ours, const workload::Trace& trace,
+                            const cluster::ClusterConfig& config,
+                            const ExperimentOptions& options) {
+  Comparison comparison;
+  comparison.baseline = run_policy_on_trace(baseline, trace, config, options);
+  comparison.ours = run_policy_on_trace(ours, trace, config, options);
+  return comparison;
+}
+
+}  // namespace vrc::core

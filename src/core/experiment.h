@@ -1,0 +1,79 @@
+// Experiment runner: one (trace, cluster, policy) simulation end to end.
+//
+// This is the public entry point the examples and every bench binary use:
+//
+//   auto trace = workload::standard_trace(WorkloadGroup::kSpec, 3);
+//   auto report = core::run_policy_on_trace(core::PolicyKind::kVReconfiguration,
+//                                           trace, ClusterConfig::paper_cluster1());
+#pragma once
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "cluster/config.h"
+#include "core/baselines.h"
+#include "core/g_load_sharing.h"
+#include "core/oracle.h"
+#include "core/v_reconfiguration.h"
+#include "metrics/collector.h"
+#include "workload/trace.h"
+
+namespace vrc::core {
+
+/// The policies shipped with the library.
+enum class PolicyKind {
+  kGLoadSharing,      // baseline of [3]
+  kVReconfiguration,  // the paper's contribution
+  kLocalOnly,         // no load sharing
+  kSuspension,        // the brute-force alternative of §1
+  kOracleDemands,     // counterfactual: demands known in advance
+};
+
+const char* to_string(PolicyKind kind);
+
+/// Constructs a fresh policy instance of the given kind with default options.
+std::unique_ptr<cluster::SchedulerPolicy> make_policy(PolicyKind kind);
+
+/// Knobs for one experiment run.
+struct ExperimentOptions {
+  metrics::CollectorOptions collector;
+  /// Safety cap on simulated time; a run that has not drained by then is
+  /// reported with the jobs completed so far (jobs_completed <
+  /// jobs_submitted flags it).
+  SimTime max_sim_time = 500000.0;
+};
+
+/// Runs `trace` on a cluster built from `config` under `policy`.
+metrics::RunReport run_experiment(const workload::Trace& trace,
+                                  const cluster::ClusterConfig& config,
+                                  cluster::SchedulerPolicy& policy,
+                                  const ExperimentOptions& options = {});
+
+/// Convenience wrapper constructing the policy by kind.
+metrics::RunReport run_policy_on_trace(PolicyKind kind, const workload::Trace& trace,
+                                       const cluster::ClusterConfig& config,
+                                       const ExperimentOptions& options = {});
+
+/// The paper's testbed for a workload group: cluster 1 for the SPEC group,
+/// cluster 2 for the application group.
+cluster::ClusterConfig paper_cluster_for(workload::WorkloadGroup group, std::size_t nodes = 32);
+
+/// Side-by-side comparison of two runs of the same trace (baseline first),
+/// with the relative reductions the paper quotes.
+struct Comparison {
+  metrics::RunReport baseline;
+  metrics::RunReport ours;
+
+  double execution_reduction() const;
+  double queue_reduction() const;
+  double slowdown_reduction() const;
+  double idle_memory_reduction() const;
+  double balance_skew_reduction() const;
+};
+
+/// Runs the same trace under two policies and returns the comparison.
+Comparison compare_policies(PolicyKind baseline, PolicyKind ours, const workload::Trace& trace,
+                            const cluster::ClusterConfig& config,
+                            const ExperimentOptions& options = {});
+
+}  // namespace vrc::core

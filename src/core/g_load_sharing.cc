@@ -1,0 +1,123 @@
+#include "core/g_load_sharing.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/log.h"
+
+namespace vrc::core {
+
+void GLoadSharing::attach(Cluster& cluster) {
+  last_migration_.assign(cluster.num_nodes(), -1e18);
+}
+
+void GLoadSharing::on_job_arrival(Cluster& cluster, RunningJob& job) {
+  if (!try_place(cluster, job)) {
+    ++blocked_submissions_;
+    VRC_LOG(kDebug) << "t=" << cluster.simulator().now() << " job " << job.id()
+                    << " blocked at submission";
+  }
+}
+
+bool GLoadSharing::try_place(Cluster& cluster, RunningJob& job) {
+  // Memory demands are unknown at submission time ([3]): admission assumes a
+  // typical working set (or the job's observed footprint, if larger).
+  const Bytes hint = std::max(job.demand, cluster.config().admission_demand_estimate);
+  Workstation& home = cluster.node(job.home_node);
+  if (home.accepts_new_job(hint)) {
+    cluster.place_local(job, home.id());
+    return true;
+  }
+  if (auto target = find_submission_target(cluster, hint, home.id())) {
+    cluster.place_remote(job, *target);
+    return true;
+  }
+  return false;
+}
+
+std::optional<NodeId> GLoadSharing::find_submission_target(Cluster& cluster, Bytes demand_hint,
+                                                           NodeId exclude) const {
+  std::optional<NodeId> best;
+  int best_slots = 0;
+  Bytes best_idle = 0;
+  const int cpu_threshold = cluster.config().cpu_threshold;
+  for (const cluster::LoadInfo& info : cluster.board().all()) {
+    if (info.node == exclude) continue;
+    if (info.reserved || info.pressured) continue;
+    if (info.slots_used >= cpu_threshold) continue;
+    if (info.idle_memory <= demand_hint) continue;
+    // Selection trusts the periodically-exchanged board: between exchanges
+    // every home scheduler sees the same "lightly loaded" candidates, so
+    // bursts of submissions herd onto them — the "unsuitable job
+    // submissions" with unknown demands that seed the blocking problem.
+    const bool better = !best || info.slots_used < best_slots ||
+                        (info.slots_used == best_slots && info.idle_memory > best_idle);
+    if (!better) continue;
+    best = info.node;
+    best_slots = info.slots_used;
+    best_idle = info.idle_memory;
+  }
+  return best;
+}
+
+std::optional<NodeId> GLoadSharing::find_migration_target(Cluster& cluster,
+                                                          const RunningJob& job,
+                                                          NodeId exclude) const {
+  std::optional<NodeId> best;
+  Bytes best_idle = 0;
+  const int cpu_threshold = cluster.config().cpu_threshold;
+  for (const cluster::LoadInfo& info : cluster.board().all()) {
+    if (info.node == exclude) continue;
+    if (info.reserved || info.pressured) continue;
+    if (info.slots_used >= cpu_threshold) continue;
+    if (info.idle_memory < job.demand) continue;
+    if (info.idle_memory <= best_idle) continue;
+    const Workstation& live = cluster.node(info.node);
+    if (!live.has_free_slot() || live.reserved() || live.memory_pressured()) continue;
+    if (live.idle_memory() < job.demand) continue;
+    best = info.node;
+    best_idle = info.idle_memory;
+  }
+  return best;
+}
+
+bool GLoadSharing::try_migrate_from(Cluster& cluster, Workstation& node) {
+  if (!options_.enable_migration) return false;
+  const SimTime now = cluster.simulator().now();
+  if (now - last_migration_[node.id()] < cluster.config().migration_cooldown) return false;
+
+  // The victim is the most memory-intensive job — the paper's framework
+  // calls find_most_memory_intensive_job() and migrates exactly that job.
+  // When no workstation can hold it (the big-job case), the migration fails
+  // and the node stays blocked: this is precisely the gap the virtual
+  // reconfiguration exists to fill.
+  for (const auto& job : node.jobs()) {
+    if (job->phase == cluster::JobPhase::kMigrating) return false;  // transfer in flight
+  }
+  RunningJob* victim = node.most_memory_intensive_job();
+  if (victim == nullptr) return false;
+  auto target = find_migration_target(cluster, *victim, node.id());
+  if (!target) return false;
+  if (!cluster.start_migration(node.id(), victim->id(), *target)) return false;
+  last_migration_[node.id()] = now;
+  return true;
+}
+
+void GLoadSharing::on_node_pressure(Cluster& cluster, Workstation& node) {
+  if (!try_migrate_from(cluster, node)) ++failed_migrations_;
+}
+
+std::vector<std::pair<std::string, double>> GLoadSharing::stats() const {
+  return {{"blocked_submissions", static_cast<double>(blocked_submissions_)},
+          {"failed_migrations", static_cast<double>(failed_migrations_)}};
+}
+
+void GLoadSharing::on_periodic(Cluster& cluster) {
+  // Blocked submissions retry in arrival order; stop at the first job that
+  // cannot be placed to preserve FIFO fairness among the blocked.
+  for (RunningJob* job : cluster.pending_jobs()) {
+    if (!try_place(cluster, *job)) break;
+  }
+}
+
+}  // namespace vrc::core

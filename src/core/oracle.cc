@@ -1,0 +1,61 @@
+#include "core/oracle.h"
+
+namespace vrc::core {
+
+Bytes OracleDemands::future_committed(const Workstation& node) const {
+  Bytes total = node.incoming_bytes();
+  for (const auto& job : node.jobs()) {
+    if (job->phase == cluster::JobPhase::kSuspended) continue;
+    total += job->spec->working_set();
+  }
+  return total;
+}
+
+bool OracleDemands::oracle_accepts(const Cluster& cluster, const Workstation& node,
+                                   Bytes peak) const {
+  if (node.reserved() || !node.has_free_slot() || node.memory_pressured()) return false;
+  const Bytes limit = static_cast<Bytes>(cluster.config().memory_threshold *
+                                         static_cast<double>(node.user_memory()));
+  return future_committed(node) + peak < limit;
+}
+
+bool OracleDemands::try_place_oracle(Cluster& cluster, RunningJob& job) {
+  // Perfect knowledge: admission is against the sum of everyone's *peak*
+  // working sets, so no placement can ever grow into a collision.
+  const Bytes peak = job.spec->working_set();
+  Workstation& home = cluster.node(job.home_node);
+  if (oracle_accepts(cluster, home, peak)) {
+    cluster.place_local(job, home.id());
+    return true;
+  }
+  // Least future-committed workstation that can take the full peak.
+  std::optional<NodeId> best;
+  Bytes best_future = 0;
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    const Workstation& node = cluster.node(static_cast<NodeId>(i));
+    if (node.id() == home.id()) continue;
+    if (!oracle_accepts(cluster, node, peak)) continue;
+    const Bytes future = future_committed(node);
+    if (!best || future < best_future) {
+      best = node.id();
+      best_future = future;
+    }
+  }
+  if (best) {
+    cluster.place_remote(job, *best);
+    return true;
+  }
+  return false;
+}
+
+void OracleDemands::on_job_arrival(Cluster& cluster, RunningJob& job) {
+  if (!try_place_oracle(cluster, job)) ++blocked_submissions_;
+}
+
+void OracleDemands::on_periodic(Cluster& cluster) {
+  for (RunningJob* job : cluster.pending_jobs()) {
+    if (!try_place_oracle(cluster, *job)) break;
+  }
+}
+
+}  // namespace vrc::core

@@ -1,0 +1,36 @@
+// Oracle-demand policy: dynamic load sharing with *known* memory demands.
+//
+// The paper's premise (inherited from [3]) is that a job's memory demand is
+// unknown at submission and changes while it runs — which is why unsuitable
+// placements happen and the blocking problem exists at all. This policy is
+// the counterfactual: admission and migration decisions see every job's true
+// peak working set. It upper-bounds what any predictor could achieve and
+// quantifies the price of demand uncertainty (bench/ablation_oracle).
+#pragma once
+
+#include "core/g_load_sharing.h"
+
+namespace vrc::core {
+
+/// G-Loadsharing with perfect demand knowledge: the admission hint for every
+/// placement is the job's true peak working set, so no workstation ever
+/// admits a set of jobs whose grown demands collide.
+class OracleDemands : public GLoadSharing {
+ public:
+  OracleDemands() = default;
+  explicit OracleDemands(Options options) : GLoadSharing(options) {}
+
+  const char* name() const override { return "Oracle-Demands"; }
+
+  void on_job_arrival(Cluster& cluster, RunningJob& job) override;
+  void on_periodic(Cluster& cluster) override;
+
+ private:
+  /// Sum of the *peak* working sets of everything on (or headed to) the
+  /// node: what the node's demand will grow into.
+  Bytes future_committed(const Workstation& node) const;
+  bool oracle_accepts(const Cluster& cluster, const Workstation& node, Bytes peak) const;
+  bool try_place_oracle(Cluster& cluster, RunningJob& job);
+};
+
+}  // namespace vrc::core

@@ -1,0 +1,262 @@
+#include "core/v_reconfiguration.h"
+
+#include <algorithm>
+
+#include "util/log.h"
+
+namespace vrc::core {
+
+VReconfiguration::VReconfiguration(Options options)
+    : GLoadSharing(options.base), options_(options) {}
+
+void VReconfiguration::attach(Cluster& cluster) {
+  GLoadSharing::attach(cluster);
+  reservations_.clear();
+  last_blocking_seen_ = -1e18;
+  last_drain_timeout_ = -1e18;
+}
+
+void VReconfiguration::on_node_pressure(Cluster& cluster, Workstation& node) {
+  // Normal dynamic load sharing first: if a qualified migration destination
+  // exists, there is no blocking problem.
+  if (try_migrate_from(cluster, node)) return;
+  ++failed_migrations_;
+
+  // Page faults with no destination: the blocking problem is detected.
+  last_blocking_seen_ = cluster.simulator().now();
+  handle_blocking(cluster, node);
+}
+
+bool VReconfiguration::handle_blocking(Cluster& cluster, Workstation& node) {
+  // The blocking problem is rooted in unsuitable placements of jobs with
+  // large memory demands. Pressure on a node that is not substantially
+  // overcommitted, or whose jobs are all normal-sized, is ordinary load —
+  // reserving a workstation cannot help it (and the migration freeze would
+  // cost more than the paging it cures).
+  if (node.overcommit() < options_.min_overcommit) return false;
+  RunningJob* big = node.most_memory_intensive_job();
+  const Bytes big_threshold = static_cast<Bytes>(
+      options_.big_job_factor *
+      static_cast<double>(cluster.config().admission_demand_estimate));
+  if (big == nullptr || big->demand < big_threshold) return false;
+
+  const Bytes needed =
+      static_cast<Bytes>(options_.growth_headroom * static_cast<double>(big->demand));
+
+  // (1) An existing reserved workstation with enough available resources.
+  if (Reservation* usable = find_usable_reservation(cluster, needed)) {
+    if (cluster.start_migration(node.id(), big->id(), usable->node)) {
+      ++reserved_migrations_;
+      usable->state = ReservationState::kServing;
+      VRC_LOG(kInfo) << "t=" << cluster.simulator().now() << " blocking: job " << big->id()
+                     << " sent to existing reserved node " << usable->node;
+      return true;
+    }
+  }
+
+  // (2) Start a reserving period, if reconfiguration can help at all. Up to
+  // max_reservations workstations ("a small set") may be reserved at once,
+  // but only one may be draining at a time, and a recently abandoned drain
+  // (§2.3: truly heavily loaded) imposes a backoff.
+  if (static_cast<int>(reservations_.size()) >= options_.max_reservations ||
+      has_draining_reservation()) {
+    ++declined_max_reservations_;
+    return false;
+  }
+  if (cluster.simulator().now() - last_drain_timeout_ < options_.timeout_backoff) {
+    return false;
+  }
+  // The reconfiguration routine gathers a fresh view when triggered (it is
+  // a rare control-path operation); the board's sender-side decrements would
+  // otherwise understate the accumulated idle memory.
+  const Bytes cluster_idle = cluster.live_idle_memory();
+  const Bytes avg_user = cluster.board().average_user_memory();
+  if (static_cast<double>(cluster_idle) <
+      options_.min_cluster_idle_factor * static_cast<double>(avg_user)) {
+    // §2.3: accumulated idle memory too small — memory is genuinely
+    // exhausted; reconfiguration would not be effective.
+    ++declined_low_idle_;
+    return false;
+  }
+  auto candidate = pick_reservation_candidate(cluster, node.id());
+  if (!candidate) {
+    ++declined_no_candidate_;
+    return false;
+  }
+
+  cluster.set_reserved(*candidate, true);
+  reservations_.push_back(
+      {*candidate, ReservationState::kDraining, cluster.simulator().now()});
+  ++reservations_started_;
+  VRC_LOG(kInfo) << "t=" << cluster.simulator().now() << " blocking: reserving node "
+                 << *candidate << " (idle=" << to_megabytes(cluster_idle) << " MB cluster-wide)";
+
+  // A reserved workstation with no running jobs is usable immediately.
+  on_periodic(cluster);
+  return true;
+}
+
+std::optional<NodeId> VReconfiguration::pick_reservation_candidate(Cluster& cluster,
+                                                                   NodeId pressured) const {
+  std::optional<NodeId> best;
+  int best_jobs = 0;
+  Bytes best_idle = 0;
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    const Workstation& node = cluster.node(static_cast<NodeId>(i));
+    if (node.reserved() || node.id() == pressured) continue;
+    if (node.incoming_count() > 0) continue;  // placements already in flight
+    const int jobs = node.active_jobs();
+    const Bytes idle = node.idle_memory();
+    // Largest idle memory first (committed demand is the best observable
+    // proxy for how fast the reserving period completes — small residents
+    // are short-lived jobs, per the lifetime-prediction argument of [5]),
+    // then fewest jobs.
+    if (!best || idle > best_idle || (idle == best_idle && jobs < best_jobs)) {
+      best = node.id();
+      best_jobs = jobs;
+      best_idle = idle;
+    }
+  }
+  return best;
+}
+
+RunningJob* VReconfiguration::find_cluster_big_job(Cluster& cluster, NodeId* src) const {
+  const Bytes big_threshold = static_cast<Bytes>(
+      options_.big_job_factor *
+      static_cast<double>(cluster.config().admission_demand_estimate));
+  RunningJob* best = nullptr;
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    Workstation& node = cluster.node(static_cast<NodeId>(i));
+    if (node.reserved() || node.overcommit() < options_.min_overcommit) continue;
+    RunningJob* candidate = node.most_memory_intensive_job();
+    if (candidate == nullptr || candidate->demand < big_threshold) continue;
+    if (!best || candidate->demand > best->demand) {
+      best = candidate;
+      *src = node.id();
+    }
+  }
+  return best;
+}
+
+bool VReconfiguration::has_draining_reservation() const {
+  return std::any_of(reservations_.begin(), reservations_.end(), [](const Reservation& r) {
+    return r.state == ReservationState::kDraining;
+  });
+}
+
+VReconfiguration::Reservation* VReconfiguration::find_usable_reservation(Cluster& cluster,
+                                                                         Bytes demand) {
+  for (Reservation& reservation : reservations_) {
+    Workstation& node = cluster.node(reservation.node);
+    const bool drained =
+        reservation.state == ReservationState::kServing || node.active_jobs() == 0;
+    if (drained && node.has_free_slot() && node.idle_memory() >= demand) return &reservation;
+  }
+  return nullptr;
+}
+
+void VReconfiguration::complete_drain(Cluster& cluster, Reservation& reservation) {
+  NodeId src = 0;
+  RunningJob* big = find_cluster_big_job(cluster, &src);
+  if (big == nullptr) {
+    // Blocking problem resolved itself during the reserving period:
+    // adaptively switch back to normal load sharing.
+    release_reservation(cluster, reservation);
+    ++reservations_cancelled_;
+    return;
+  }
+  Workstation& target = cluster.node(reservation.node);
+  const Bytes needed =
+      static_cast<Bytes>(options_.growth_headroom * static_cast<double>(big->demand));
+  if (target.idle_memory() < needed || !target.has_free_slot()) return;
+  if (cluster.start_migration(src, big->id(), reservation.node)) {
+    ++reserved_migrations_;
+    reservation.state = ReservationState::kServing;
+    VRC_LOG(kInfo) << "t=" << cluster.simulator().now() << " reserving period over: job "
+                   << big->id() << " (" << to_megabytes(big->demand) << " MB) -> reserved node "
+                   << reservation.node;
+  }
+}
+
+void VReconfiguration::release_reservation(Cluster& cluster, const Reservation& reservation) {
+  cluster.set_reserved(reservation.node, false);
+  VRC_LOG(kInfo) << "t=" << cluster.simulator().now() << " reservation on node "
+                 << reservation.node << " released";
+}
+
+std::vector<std::pair<std::string, double>> VReconfiguration::stats() const {
+  auto stats = GLoadSharing::stats();
+  stats.emplace_back("reservations_started", static_cast<double>(reservations_started_));
+  stats.emplace_back("reservations_cancelled", static_cast<double>(reservations_cancelled_));
+  stats.emplace_back("reserved_migrations", static_cast<double>(reserved_migrations_));
+  stats.emplace_back("declined_max", static_cast<double>(declined_max_reservations_));
+  stats.emplace_back("declined_idle", static_cast<double>(declined_low_idle_));
+  stats.emplace_back("declined_candidate", static_cast<double>(declined_no_candidate_));
+  stats.emplace_back("drains_timed_out", static_cast<double>(drains_timed_out_));
+  return stats;
+}
+
+void VReconfiguration::on_periodic(Cluster& cluster) {
+  GLoadSharing::on_periodic(cluster);
+  maintain_reservations(cluster);
+}
+
+void VReconfiguration::on_job_completed(Cluster& cluster,
+                                        const cluster::CompletedJob& record) {
+  GLoadSharing::on_job_completed(cluster, record);
+  maintain_reservations(cluster);
+}
+
+void VReconfiguration::maintain_reservations(Cluster& cluster) {
+  const SimTime now = cluster.simulator().now();
+
+  for (std::size_t i = 0; i < reservations_.size();) {
+    Reservation& reservation = reservations_[i];
+    Workstation& node = cluster.node(reservation.node);
+
+    if (reservation.state == ReservationState::kDraining) {
+      if (now - last_blocking_seen_ > options_.blocking_resolve_timeout) {
+        // Adaptive switch-back: no blocking for a while, cancel the drain.
+        release_reservation(cluster, reservation);
+        ++reservations_cancelled_;
+        reservations_.erase(reservations_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      if (now - reservation.started > options_.reserve_timeout) {
+        // §2.3: the workstation could not be drained within the interval —
+        // the cluster is truly heavily loaded; give the node back.
+        release_reservation(cluster, reservation);
+        ++drains_timed_out_;
+        last_drain_timeout_ = now;
+        reservations_.erase(reservations_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      bool ready = node.active_jobs() == 0;
+      if (!ready && options_.early_release) {
+        NodeId src = 0;
+        RunningJob* big = find_cluster_big_job(cluster, &src);
+        ready = big != nullptr && node.has_free_slot() &&
+                node.idle_memory() >= static_cast<Bytes>(options_.growth_headroom *
+                                                         static_cast<double>(big->demand));
+      }
+      if (ready) {
+        complete_drain(cluster, reservation);
+        if (reservation.state == ReservationState::kDraining) {
+          // complete_drain released it (blocking resolved); drop the entry.
+          reservations_.erase(reservations_.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+      }
+    } else {  // kServing
+      if (node.active_jobs() == 0 && node.incoming_count() == 0) {
+        // Special service finished: the workstation rejoins the normal pool.
+        release_reservation(cluster, reservation);
+        reservations_.erase(reservations_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+    }
+    ++i;
+  }
+}
+
+}  // namespace vrc::core

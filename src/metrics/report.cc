@@ -1,0 +1,34 @@
+#include "metrics/report.h"
+
+#include <sstream>
+
+namespace vrc::metrics {
+
+double reduction(double baseline, double ours) {
+  if (baseline == 0.0) return 0.0;
+  return (baseline - ours) / baseline;
+}
+
+std::string describe(const RunReport& report) {
+  std::ostringstream os;
+  os.precision(4);
+  os << report.policy << " on " << report.trace << ": " << report.jobs_completed << '/'
+     << report.jobs_submitted << " jobs, makespan " << report.makespan << " s\n";
+  os << "  T_exe=" << report.total_execution << " s (cpu=" << report.total_cpu
+     << " page=" << report.total_page << " queue=" << report.total_queue
+     << " mig=" << report.total_migration << ")\n";
+  os << "  slowdown avg=" << report.avg_slowdown << " median=" << report.median_slowdown
+     << " p95=" << report.p95_slowdown << " max=" << report.max_slowdown << '\n';
+  os << "  idle memory avg=" << report.avg_idle_memory_mb
+     << " MB, balance skew avg=" << report.avg_balance_skew << '\n';
+  os << "  migrations=" << report.migrations << " remote=" << report.remote_submits
+     << " local=" << report.local_placements << " faults=" << report.total_faults << '\n';
+  if (!report.policy_stats.empty()) {
+    os << "  policy:";
+    for (const auto& [key, value] : report.policy_stats) os << ' ' << key << '=' << value;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vrc::metrics

@@ -1,0 +1,11 @@
+#include "sim/sampler.h"
+
+#include <utility>
+
+namespace vrc::sim {
+
+IntervalSampler::IntervalSampler(Simulator& sim, SimTime start, SimTime interval, Probe probe)
+    : probe_(std::move(probe)),
+      task_(sim, start, interval, [this](SimTime now) { stats_.add(probe_(now)); }) {}
+
+}  // namespace vrc::sim

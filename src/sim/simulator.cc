@@ -1,0 +1,91 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace vrc::sim {
+
+EventId Simulator::schedule_at(SimTime when, Callback callback) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(callback));
+  ++live_events_;
+  return id;
+}
+
+EventId Simulator::schedule_after(SimTime delay, Callback callback) {
+  if (delay < 0.0) delay = 0.0;
+  return schedule_at(now_ + delay, std::move(callback));
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_events_;
+  return true;
+}
+
+bool Simulator::settle_top() {
+  while (!queue_.empty() && callbacks_.find(queue_.top().id) == callbacks_.end()) {
+    queue_.pop();  // lazily discard cancelled entries
+  }
+  return !queue_.empty();
+}
+
+bool Simulator::step() {
+  if (!settle_top()) return false;
+  Entry top = queue_.top();
+  queue_.pop();
+  auto it = callbacks_.find(top.id);
+  Callback callback = std::move(it->second);
+  callbacks_.erase(it);
+  --live_events_;
+  now_ = top.when;
+  ++executed_;
+  callback();
+  return true;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t executed = 0;
+  while (settle_top() && queue_.top().when <= deadline) {
+    step();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+PeriodicTask::PeriodicTask(Simulator& sim, SimTime start, SimTime period, Callback callback)
+    : sim_(sim), period_(period), callback_(std::move(callback)) {
+  arm(start);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::arm(SimTime when) {
+  pending_ = sim_.schedule_at(when, [this] {
+    if (!running_) return;
+    const SimTime fired_at = sim_.now();
+    arm(fired_at + period_);
+    callback_(fired_at);
+  });
+}
+
+void PeriodicTask::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != kInvalidEventId) {
+    sim_.cancel(pending_);
+    pending_ = kInvalidEventId;
+  }
+}
+
+}  // namespace vrc::sim

@@ -1,0 +1,126 @@
+// Discrete-event simulation core.
+//
+// The Simulator owns a priority queue of timestamped callbacks. Components
+// (workstations, load-information exchangers, samplers, the trace replayer)
+// schedule events against it; the run loop pops events in (time, insertion
+// order) and executes them. Cancellation is supported through lazy deletion
+// so a node can retract its pending tick when it goes idle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.h"
+
+namespace vrc::sim {
+
+/// Handle for a scheduled event; used to cancel it before it fires.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Event-driven simulation executive.
+///
+/// Time is double seconds starting at 0. Events scheduled at equal times fire
+/// in insertion order (FIFO), which keeps runs deterministic.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time (the timestamp of the event being executed, or
+  /// of the last executed event between runs).
+  SimTime now() const { return now_; }
+
+  /// Schedules `callback` at absolute time `when`. `when` must be >= now();
+  /// an earlier time is clamped to now() (fires next).
+  EventId schedule_at(SimTime when, Callback callback);
+
+  /// Schedules `callback` after a relative delay (>= 0).
+  EventId schedule_after(SimTime delay, Callback callback);
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet fired. Cancelling an already-fired or invalid id is a no-op.
+  bool cancel(EventId id);
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  std::uint64_t run();
+
+  /// Runs events with time <= `deadline`; after returning, now() == deadline
+  /// if the simulation reached it. Returns the number of events executed.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Executes exactly one event if available. Returns false if the queue is
+  /// empty (after purging cancelled entries).
+  bool step();
+
+  /// True when no live events remain.
+  bool empty() const { return live_events_ == 0; }
+
+  /// Number of live (non-cancelled, unfired) events.
+  std::uint64_t pending_events() const { return live_events_; }
+
+  /// Total events executed since construction.
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    // Ordering for the min-heap (std::priority_queue is a max-heap, so the
+    // comparison is reversed).
+    bool operator<(const Entry& other) const {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pops entries until the top is live; returns false when drained.
+  bool settle_top();
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t live_events_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry> queue_;
+  // id -> callback for live events; absence means cancelled.
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+/// Repeating task helper: fires `callback(now)` every `period` seconds
+/// starting at `start`, until stopped or the simulator drains. Useful for
+/// load-information exchange and metric sampling.
+class PeriodicTask {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  PeriodicTask(Simulator& sim, SimTime start, SimTime period, Callback callback);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Stops future firings. Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+  SimTime period() const { return period_; }
+
+ private:
+  void arm(SimTime when);
+
+  Simulator& sim_;
+  SimTime period_;
+  Callback callback_;
+  EventId pending_ = kInvalidEventId;
+  bool running_ = true;
+};
+
+}  // namespace vrc::sim

@@ -1,0 +1,97 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrc::sim {
+
+void RunningStats::add(double value) {
+  ++count_;
+  sum_ += value;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::population_stddev() const {
+  if (count_ == 0) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_));
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void TimeWeightedStats::record(double time, double value) {
+  if (!started_) {
+    started_ = true;
+    start_time_ = time;
+  } else if (time > last_time_) {
+    weighted_sum_ += last_value_ * (time - last_time_);
+  }
+  last_time_ = time;
+  last_value_ = value;
+}
+
+double TimeWeightedStats::average_until(double time) const {
+  if (!started_ || time <= start_time_) return 0.0;
+  double total = weighted_sum_;
+  if (time > last_time_) total += last_value_ * (time - last_time_);
+  return total / (time - start_time_);
+}
+
+double Percentiles::quantile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins) {}
+
+void Histogram::add(double value) {
+  const double span = hi_ - lo_;
+  double pos = (value - lo_) / span * static_cast<double>(counts_.size());
+  long bin = static_cast<long>(pos);
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t bin) const { return bin_low(bin + 1); }
+
+}  // namespace vrc::sim

@@ -1,0 +1,155 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace vrc::util {
+
+namespace {
+
+bool parse_int64(const std::string& text, long long* out) {
+  try {
+    size_t pos = 0;
+    long long v = std::stoll(text, &pos);
+    if (pos != text.size()) return false;
+    *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_double(const std::string& text, double* out) {
+  try {
+    size_t pos = 0;
+    double v = std::stod(text, &pos);
+    if (pos != text.size()) return false;
+    *out = v;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+void FlagSet::add(const std::string& name, Flag flag) {
+  if (!flags_.emplace(name, std::move(flag)).second) {
+    std::fprintf(stderr, "duplicate flag registration: --%s\n", name.c_str());
+    std::abort();
+  }
+}
+
+void FlagSet::add_int(const std::string& name, int* target, std::string help) {
+  Flag f;
+  f.help = std::move(help);
+  f.set = [target](const std::string& v) {
+    long long tmp = 0;
+    if (!parse_int64(v, &tmp)) return false;
+    *target = static_cast<int>(tmp);
+    return true;
+  };
+  f.default_value = [target] { return std::to_string(*target); };
+  add(name, std::move(f));
+}
+
+void FlagSet::add_int64(const std::string& name, long long* target, std::string help) {
+  Flag f;
+  f.help = std::move(help);
+  f.set = [target](const std::string& v) { return parse_int64(v, target); };
+  f.default_value = [target] { return std::to_string(*target); };
+  add(name, std::move(f));
+}
+
+void FlagSet::add_double(const std::string& name, double* target, std::string help) {
+  Flag f;
+  f.help = std::move(help);
+  f.set = [target](const std::string& v) { return parse_double(v, target); };
+  f.default_value = [target] { return std::to_string(*target); };
+  add(name, std::move(f));
+}
+
+void FlagSet::add_bool(const std::string& name, bool* target, std::string help) {
+  Flag f;
+  f.help = std::move(help);
+  f.is_bool = true;
+  f.set = [target](const std::string& v) {
+    if (v == "" || v == "true" || v == "1") {
+      *target = true;
+    } else if (v == "false" || v == "0") {
+      *target = false;
+    } else {
+      return false;
+    }
+    return true;
+  };
+  f.default_value = [target] { return *target ? "true" : "false"; };
+  add(name, std::move(f));
+}
+
+void FlagSet::add_string(const std::string& name, std::string* target, std::string help) {
+  Flag f;
+  f.help = std::move(help);
+  f.set = [target](const std::string& v) {
+    *target = v;
+    return true;
+  };
+  f.default_value = [target] { return *target; };
+  add(name, std::move(f));
+}
+
+bool FlagSet::parse(int argc, const char* const* argv) {
+  positional_.clear();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body == "help") {
+      std::fputs(usage(argv[0]).c_str(), stderr);
+      return false;
+    }
+    std::string name = body;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n%s", name.c_str(), usage(argv[0]).c_str());
+      return false;
+    }
+    Flag& flag = it->second;
+    if (!has_value && !flag.is_bool) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s requires a value\n", name.c_str());
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (!flag.set(value)) {
+      std::fprintf(stderr, "invalid value for --%s: '%s'\n", name.c_str(), value.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string FlagSet::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << "  (default: " << flag.default_value() << ")\n      " << flag.help
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace vrc::util

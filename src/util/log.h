@@ -1,0 +1,45 @@
+// Lightweight leveled logging used by the simulator for event tracing.
+//
+// Logging defaults to kWarn so simulations are silent; examples raise the
+// level to narrate scheduler decisions (blocking detection, reservations,
+// migrations) on a timeline.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vrc::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr if `level` is at or above the global level.
+void log_line(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vrc::util
+
+#define VRC_LOG(level) ::vrc::util::internal::LogMessage(::vrc::util::LogLevel::level)

@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace vrc::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() > header_.size()) {
+    std::fprintf(stderr, "Table::add_row: row has %zu cells, header has %zu\n", row.size(),
+                 header_.size());
+    std::abort();
+  }
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string Table::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string Table::to_ascii() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << "| " << row[c] << std::string(widths[c] - row[c].size(), ' ') << ' ';
+    }
+    os << "|\n";
+    return os.str();
+  };
+  auto rule = [&] {
+    std::ostringstream os;
+    for (size_t c = 0; c < widths.size(); ++c) os << '+' << std::string(widths[c] + 2, '-');
+    os << "+\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << rule() << render_row(header_) << rule();
+  for (const auto& row : rows_) os << render_row(row);
+  os << rule();
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  for (size_t c = 0; c < header_.size(); ++c) os << (c ? "," : "") << escape(header_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) os << (c ? "," : "") << escape(row[c]);
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace vrc::util

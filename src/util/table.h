@@ -1,0 +1,38 @@
+// Fixed-width ASCII table and CSV rendering for bench/report output.
+//
+// The bench binaries print the same rows/series the paper's tables and
+// figures report; Table keeps that output aligned and machine-greppable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vrc::util {
+
+/// Builds a rectangular table of strings and renders it either as an aligned
+/// ASCII table (for terminals) or as CSV (for plotting scripts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; the row is padded or a hard error (abort) if it has more
+  /// cells than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string fmt(double value, int precision = 2);
+
+  /// Convenience: formats a percentage "12.3%".
+  static std::string pct(double fraction, int precision = 1);
+
+  std::string to_ascii() const;
+  std::string to_csv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vrc::util

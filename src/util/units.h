@@ -1,0 +1,34 @@
+// Common scalar unit helpers shared across the library.
+//
+// All simulation times are double seconds, all memory quantities are
+// int64 bytes. The helpers below exist so call sites read in the units the
+// paper uses (megabytes, milliseconds, Mbps) without ad-hoc arithmetic.
+#pragma once
+
+#include <cstdint>
+
+namespace vrc {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Memory quantity in bytes.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Converts mebibytes to bytes.
+constexpr Bytes megabytes(double mb) { return static_cast<Bytes>(mb * static_cast<double>(kMiB)); }
+
+/// Converts bytes to mebibytes (for reporting).
+constexpr double to_megabytes(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMiB); }
+
+/// Converts milliseconds to seconds.
+constexpr SimTime milliseconds(double ms) { return ms / 1000.0; }
+
+/// Converts a megabit-per-second link speed to bytes per second.
+constexpr double mbps_to_bytes_per_sec(double mbps) { return mbps * 1e6 / 8.0; }
+
+}  // namespace vrc

@@ -1,0 +1,128 @@
+#include "workload/catalog.h"
+
+#include "util/units.h"
+
+namespace vrc::workload {
+
+namespace {
+
+ProgramSpec spec_program(std::string name, std::string description, std::string input,
+                         double working_set_mb, double lifetime_s, double touch_rate,
+                         double ramp_fraction, double io_rate, double mix_weight) {
+  ProgramSpec p;
+  p.name = std::move(name);
+  p.description = std::move(description);
+  p.input = std::move(input);
+  p.group = WorkloadGroup::kSpec;
+  p.working_set = megabytes(working_set_mb);
+  p.lifetime = lifetime_s;
+  p.reference_mhz = 400.0;
+  p.touch_rate = touch_rate;
+  p.ramp_fraction = ramp_fraction;
+  p.io_rate = io_rate;
+  p.mix_weight = mix_weight;
+  return p;
+}
+
+ProgramSpec app_program(std::string name, std::string description, std::string input,
+                        double ws_min_mb, double ws_max_mb, double lifetime_s, double touch_rate,
+                        double ramp_fraction, double io_rate, double mix_weight) {
+  ProgramSpec p;
+  p.name = std::move(name);
+  p.description = std::move(description);
+  p.input = std::move(input);
+  p.group = WorkloadGroup::kApps;
+  p.working_set_min = megabytes(ws_min_mb);
+  p.working_set = megabytes(ws_max_mb);
+  if (p.working_set_min == p.working_set) p.working_set_min = 0;
+  p.lifetime = lifetime_s;
+  p.reference_mhz = 233.0;
+  p.touch_rate = touch_rate;
+  p.ramp_fraction = ramp_fraction;
+  p.io_rate = io_rate;
+  p.mix_weight = mix_weight;
+  return p;
+}
+
+void mark_growing(std::vector<ProgramSpec>& programs, const char* name, double plateau) {
+  for (ProgramSpec& p : programs) {
+    if (p.name == name) p.plateau_fraction = plateau;
+  }
+}
+
+std::vector<ProgramSpec> make_spec_catalog() {
+  // Table 1. Two programs (apsi, mcf) are the "large jobs": ~190 MB working
+  // sets *and* long lifetimes — the population whose unsuitable placement
+  // causes the blocking problem on 384 MB nodes — and their small mix
+  // weights keep them a low percentage of the pool, as the paper requires.
+  // Lifetimes preserve the programs' relative ordering while keeping the
+  // five published trace shapes in the light-to-overloaded utilization range
+  // the evaluation explores (EXPERIMENTS.md discusses this calibration).
+  return {
+      spec_program("apsi", "climate modeling", "apsi.in", 191.0, 650.0, 6000.0, 0.04, 2.0, 0.4),
+      spec_program("gcc", "optimized C compiler", "166.i", 78.0, 135.0, 1000.0, 0.10, 8.0, 2.1),
+      spec_program("gzip", "data compression", "input.graphic", 58.0, 49.0, 600.0, 0.06, 25.0,
+                   2.3),
+      spec_program("mcf", "combinatorial optimization", "inp.in", 190.0, 720.0, 7000.0, 0.03, 1.0,
+                   0.4),
+      spec_program("vortex", "database", "lendian1.raw", 62.0, 113.0, 1000.0, 0.08, 30.0, 2.1),
+      spec_program("bzip", "data compression", "input.graphic", 60.0, 64.0, 700.0, 0.06, 25.0,
+                   2.1),
+  };
+}
+
+std::vector<ProgramSpec> finish_spec_catalog() {
+  std::vector<ProgramSpec> programs = make_spec_catalog();
+  // The large jobs keep allocating through their whole run ("unexpectedly
+  // large memory allocation requirements"); normal jobs reach a stable
+  // working set early.
+  mark_growing(programs, "apsi", 0.45);
+  mark_growing(programs, "mcf", 0.45);
+  return programs;
+}
+
+std::vector<ProgramSpec> make_apps_catalog() {
+  // Table 2. Working sets are small relative to a 128 MB node (several jobs
+  // coexist without paging), so queueing balance — not memory — dominates;
+  // metis (growing 1M-4M element meshes) is the group's rare large, long
+  // job. This matches the paper's §4.2 finding that group-2 gains come from
+  // job balancing while total idle memory stays nearly unchanged.
+  return {
+      app_program("bit-r", "bit-reversals", "2^22 elems", 0.0, 22.0, 40.0, 1100.0, 0.05, 4.0,
+                  1.5),
+      app_program("m-sort", "merge-sort", "24M keys", 0.0, 20.0, 61.0, 950.0, 0.08, 6.0, 1.5),
+      app_program("m-m", "matrix multiplication", "1,024", 0.0, 14.0, 80.0, 380.0, 0.03, 1.0,
+                  1.5),
+      app_program("t-sim", "trace-driven simulation", "31,000k refs", 0.0, 24.0, 138.0, 880.0,
+                  0.06, 40.0, 1.5),
+      app_program("metis", "partitioning meshes", "1M-4M", 42.0, 78.0, 520.0, 2200.0, 0.05, 10.0,
+                  0.5),
+      app_program("r-sphere", "volume rendering, sphere", "150,000", 0.0, 12.0, 56.0, 700.0,
+                  0.05, 18.0, 1.5),
+      app_program("r-wing", "volume rendering, aircraft wing", "500,000", 0.0, 23.0, 122.0,
+                  800.0, 0.05, 22.0, 1.5),
+  };
+}
+
+}  // namespace
+
+const std::vector<ProgramSpec>& catalog(WorkloadGroup group) {
+  static const std::vector<ProgramSpec> spec = finish_spec_catalog();
+  static const std::vector<ProgramSpec> apps = make_apps_catalog();
+  return group == WorkloadGroup::kSpec ? spec : apps;
+}
+
+std::optional<ProgramSpec> find_program(const std::string& name) {
+  for (WorkloadGroup group : {WorkloadGroup::kSpec, WorkloadGroup::kApps}) {
+    for (const ProgramSpec& p : catalog(group)) {
+      if (p.name == name) return p;
+    }
+  }
+  return std::nullopt;
+}
+
+double reference_mhz(WorkloadGroup group) {
+  return group == WorkloadGroup::kSpec ? 400.0 : 233.0;
+}
+
+}  // namespace vrc::workload

@@ -1,0 +1,37 @@
+// Static description of a single job instance in a trace.
+//
+// Mirrors the paper's trace header item (submission time, job ID, lifetime
+// measured in the dedicated environment) plus the compact form of the
+// per-10 ms activity records: a memory-demand profile and a page-touch
+// intensity (see DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.h"
+#include "workload/memory_profile.h"
+
+namespace vrc::workload {
+
+using JobId = std::uint32_t;
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// One job of a workload trace. Immutable during simulation; runtime state
+/// (progress, accounting) lives in the cluster module.
+struct JobSpec {
+  JobId id = 0;
+  std::string program;        // catalog program name this instance runs
+  SimTime submit_time = 0.0;  // arrival at the home workstation
+  NodeId home_node = 0;       // workstation the user submits to
+  SimTime cpu_seconds = 0.0;  // dedicated CPU demand on the trace's reference CPU
+  double touch_rate = 0.0;    // new-page touches per CPU-second
+  MemoryProfile memory = MemoryProfile::constant(0);
+
+  /// Peak memory demand of this instance.
+  Bytes working_set() const { return memory.peak(); }
+};
+
+}  // namespace vrc::workload

@@ -1,0 +1,43 @@
+#include "workload/program.h"
+
+namespace vrc::workload {
+
+const char* to_string(WorkloadGroup group) {
+  switch (group) {
+    case WorkloadGroup::kSpec:
+      return "spec";
+    case WorkloadGroup::kApps:
+      return "apps";
+  }
+  return "?";
+}
+
+bool parse_workload_group(const std::string& text, WorkloadGroup* out) {
+  if (text == "spec") {
+    *out = WorkloadGroup::kSpec;
+    return true;
+  }
+  if (text == "apps") {
+    *out = WorkloadGroup::kApps;
+    return true;
+  }
+  return false;
+}
+
+MemoryProfile ProgramSpec::profile() const {
+  // Table 1/2 report the *maximum* allocated memory during execution, so
+  // demand is modelled as growing over the whole run: a fast allocation ramp
+  // to the initial footprint (the published minimum for range programs,
+  // ~55% of the peak otherwise), then steady growth to the peak. This is
+  // what makes memory demands genuinely unknowable at admission time — the
+  // premise of [3] and the root of the blocking problem.
+  const Bytes start = has_range()
+                          ? working_set_min
+                          : static_cast<Bytes>(plateau_fraction * static_cast<double>(working_set));
+  const Bytes base = std::min<Bytes>(start, 4 * kMiB);
+  if (ramp_fraction >= 1.0) return MemoryProfile::phased({{0.0, base}, {1.0, working_set}});
+  return MemoryProfile::phased(
+      {{0.0, base}, {ramp_fraction, start}, {1.0, working_set}});
+}
+
+}  // namespace vrc::workload

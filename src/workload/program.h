@@ -1,0 +1,59 @@
+// Program specifications: the per-program facts the paper publishes in
+// Table 1 (SPEC-2000 group) and Table 2 (scientific/system group), plus the
+// synthetic parameters our substitution adds (page-touch intensity, memory
+// ramp shape). See catalog.h for the concrete entries.
+#pragma once
+
+#include <string>
+
+#include "util/units.h"
+#include "workload/memory_profile.h"
+
+namespace vrc::workload {
+
+/// Which of the paper's two workload groups a program belongs to. Group 1
+/// (SPEC) runs on cluster 1 (400 MHz / 384 MB); group 2 (applications) runs
+/// on cluster 2 (233 MHz / 128 MB).
+enum class WorkloadGroup { kSpec, kApps };
+
+/// Human-readable group name ("spec" / "apps"), used in trace files.
+const char* to_string(WorkloadGroup group);
+
+/// Parses "spec"/"apps"; returns false on anything else.
+bool parse_workload_group(const std::string& text, WorkloadGroup* out);
+
+/// Static description of one program, measured (per the paper) in a
+/// dedicated environment on the group's reference workstation.
+struct ProgramSpec {
+  std::string name;
+  std::string description;
+  std::string input;          // input file / data-size label from the paper
+  WorkloadGroup group = WorkloadGroup::kSpec;
+
+  Bytes working_set = 0;      // peak demanded memory
+  Bytes working_set_min = 0;  // low end for programs the paper lists with a range
+  SimTime lifetime = 0.0;     // dedicated execution time on the reference CPU
+  double reference_mhz = 0.0; // CPU speed the lifetime was measured at
+
+  // Synthetic-substitution parameters (DESIGN.md §5):
+  double touch_rate = 0.0;    // new-page touches per CPU-second; drives the
+                              // overcommit fault model faults/s = touch_rate * O
+  double ramp_fraction = 0.05;// fraction of progress to reach the working set
+  double io_rate = 0.0;       // I/O ops per CPU-second (characterization only)
+  double mix_weight = 1.0;    // relative arrival frequency in generated traces;
+                              // large jobs get small weights ("the percentage
+                              // of exceptionally large jobs is very low")
+  double plateau_fraction = 0.9;  // fraction of the peak reached right after the
+                                  // allocation ramp; the rest accrues over the
+                                  // whole run (big jobs grow much more)
+
+  /// Builds the program's memory profile. Programs with a working-set range
+  /// ramp to working_set_min and grow to working_set over the lifetime;
+  /// fixed-working-set programs ramp quickly and plateau.
+  MemoryProfile profile() const;
+
+  /// True if the paper reports a working-set range rather than a single size.
+  bool has_range() const { return working_set_min > 0 && working_set_min != working_set; }
+};
+
+}  // namespace vrc::workload

@@ -1,0 +1,116 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace vrc::workload {
+
+Trace::Trace(std::string name, WorkloadGroup group, SimTime duration, std::vector<JobSpec> jobs)
+    : name_(std::move(name)), group_(group), duration_(duration), jobs_(std::move(jobs)) {
+  std::stable_sort(jobs_.begin(), jobs_.end(),
+                   [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+}
+
+SimTime Trace::total_cpu_seconds() const {
+  SimTime total = 0.0;
+  for (const JobSpec& job : jobs_) total += job.cpu_seconds;
+  return total;
+}
+
+void Trace::save(std::ostream& out) const {
+  out << "# vrc-trace v1\n";
+  out << "name " << name_ << '\n';
+  out << "group " << to_string(group_) << '\n';
+  out << "duration " << duration_ << '\n';
+  out << "jobs " << jobs_.size() << '\n';
+  out.precision(9);
+  for (const JobSpec& job : jobs_) {
+    out << "job " << job.id << ' ' << job.submit_time << ' ' << job.home_node << ' '
+        << job.program << ' ' << job.cpu_seconds << ' ' << job.touch_rate << ' '
+        << job.memory.points().size();
+    for (const auto& p : job.memory.points()) out << ' ' << p.progress << ' ' << p.demand;
+    out << '\n';
+  }
+}
+
+bool Trace::save_to_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  save(out);
+  return static_cast<bool>(out);
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::runtime_error("Trace::load: " + message);
+}
+
+}  // namespace
+
+Trace Trace::load(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line.rfind("# vrc-trace v1", 0) != 0) {
+    fail("missing '# vrc-trace v1' header");
+  }
+
+  std::string name;
+  WorkloadGroup group = WorkloadGroup::kSpec;
+  SimTime duration = 0.0;
+  std::size_t expected_jobs = 0;
+  bool have_group = false;
+  std::vector<JobSpec> jobs;
+
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "name") {
+      ls >> std::ws;
+      std::getline(ls, name);
+    } else if (key == "group") {
+      std::string text;
+      ls >> text;
+      if (!parse_workload_group(text, &group)) fail("bad group '" + text + "'");
+      have_group = true;
+    } else if (key == "duration") {
+      if (!(ls >> duration)) fail("bad duration");
+    } else if (key == "jobs") {
+      if (!(ls >> expected_jobs)) fail("bad job count");
+    } else if (key == "job") {
+      JobSpec job;
+      std::size_t npoints = 0;
+      if (!(ls >> job.id >> job.submit_time >> job.home_node >> job.program >> job.cpu_seconds >>
+            job.touch_rate >> npoints)) {
+        fail("malformed job line: " + line);
+      }
+      if (npoints == 0 || npoints > 1024) fail("bad profile point count");
+      std::vector<MemoryProfile::Point> points(npoints);
+      for (auto& p : points) {
+        if (!(ls >> p.progress >> p.demand)) fail("malformed profile point");
+      }
+      job.memory = MemoryProfile::phased(std::move(points));
+      jobs.push_back(std::move(job));
+    } else {
+      fail("unknown key '" + key + "'");
+    }
+  }
+
+  if (!have_group) fail("missing group");
+  if (expected_jobs != jobs.size()) {
+    fail("job count mismatch: header says " + std::to_string(expected_jobs) + ", found " +
+         std::to_string(jobs.size()));
+  }
+  return Trace(std::move(name), group, duration, std::move(jobs));
+}
+
+Trace Trace::load_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open " + path);
+  return load(in);
+}
+
+}  // namespace vrc::workload

@@ -1,0 +1,99 @@
+#include "analysis/model.h"
+
+#include <gtest/gtest.h>
+
+namespace vrc::analysis {
+namespace {
+
+metrics::RunReport report_with(double cpu, double page, double queue, double mig) {
+  metrics::RunReport report;
+  report.total_cpu = cpu;
+  report.total_page = page;
+  report.total_queue = queue;
+  report.total_migration = mig;
+  report.total_execution = cpu + page + queue + mig;
+  return report;
+}
+
+TEST(BreakdownTest, ExtractsAndSums) {
+  const auto report = report_with(10.0, 2.0, 30.0, 1.0);
+  const Breakdown b = breakdown_of(report);
+  EXPECT_DOUBLE_EQ(b.cpu, 10.0);
+  EXPECT_DOUBLE_EQ(b.page, 2.0);
+  EXPECT_DOUBLE_EQ(b.queue, 30.0);
+  EXPECT_DOUBLE_EQ(b.migration, 1.0);
+  EXPECT_DOUBLE_EQ(b.total(), 43.0);
+}
+
+TEST(ModelDeltaTest, GainIsSumOfTermDeltas) {
+  const auto baseline = report_with(10.0, 8.0, 40.0, 2.0);
+  const auto ours = report_with(10.0, 3.0, 25.0, 3.0);
+  const ModelDelta delta = compare_runs(baseline, ours);
+  EXPECT_DOUBLE_EQ(delta.d_cpu, 0.0);
+  EXPECT_DOUBLE_EQ(delta.d_page, 5.0);
+  EXPECT_DOUBLE_EQ(delta.d_queue, 15.0);
+  EXPECT_DOUBLE_EQ(delta.d_migration, -1.0);
+  EXPECT_DOUBLE_EQ(delta.gain(), 19.0);
+  EXPECT_DOUBLE_EQ(delta.approximate_gain(), 20.0);
+}
+
+TEST(ModelDeltaTest, ApproximationErrorSmallWhenCpuAndMigMatch) {
+  // The §5 approximation drops the CPU and migration terms; when they are
+  // equal across runs (T_cpu = T̂_cpu, T_mig ≈ T̂_mig) it is exact.
+  const auto baseline = report_with(10.0, 8.0, 40.0, 2.0);
+  const auto ours = report_with(10.0, 3.0, 25.0, 2.0);
+  const ModelDelta delta = compare_runs(baseline, ours);
+  EXPECT_DOUBLE_EQ(delta.approximation_error(), 0.0);
+}
+
+TEST(ModelDeltaTest, ZeroGainHasZeroError) {
+  const auto same = report_with(1.0, 1.0, 1.0, 1.0);
+  const ModelDelta delta = compare_runs(same, same);
+  EXPECT_DOUBLE_EQ(delta.gain(), 0.0);
+  EXPECT_DOUBLE_EQ(delta.approximation_error(), 0.0);
+}
+
+TEST(FifoBoundTest, MatchesHandComputation) {
+  // Q = 3 jobs with waits w1=2, w2=4, w3=6:
+  // bound = (3-1)*2 + (3-2)*4 + (3-3)*6 = 8.
+  EXPECT_DOUBLE_EQ(reserved_queue_fifo_bound({2.0, 4.0, 6.0}), 8.0);
+}
+
+TEST(FifoBoundTest, EmptyAndSingleAreZero) {
+  EXPECT_DOUBLE_EQ(reserved_queue_fifo_bound({}), 0.0);
+  EXPECT_DOUBLE_EQ(reserved_queue_fifo_bound({5.0}), 0.0);
+}
+
+TEST(FifoBoundTest, AscendingOrderMinimizesBound) {
+  // §5: "the queuing time in the reserved workstations are minimized if
+  // w_k1 < w_k2 < ... < w_kQr(k)".
+  const std::vector<double> waits{5.0, 1.0, 3.0, 2.0};
+  const double min_bound = reserved_queue_min_bound(waits);
+  // Try every permutation; none may beat the ascending bound.
+  std::vector<double> perm = waits;
+  std::sort(perm.begin(), perm.end());
+  do {
+    EXPECT_GE(reserved_queue_fifo_bound(perm) + 1e-12, min_bound);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(GainConditionTest, PredictsGainWhenQueueShrinks) {
+  GainCondition condition;
+  condition.baseline_queue = 100.0;
+  condition.non_reserved_queue = 60.0;
+  condition.reserved_bound = 20.0;
+  EXPECT_TRUE(condition.predicts_gain());
+  EXPECT_DOUBLE_EQ(condition.predicted_lower_bound(), 20.0);
+}
+
+TEST(GainConditionTest, NoGainWhenReservedQueueDominates) {
+  GainCondition condition;
+  condition.baseline_queue = 100.0;
+  condition.non_reserved_queue = 70.0;
+  condition.reserved_bound = 40.0;
+  EXPECT_FALSE(condition.predicts_gain());
+  EXPECT_LT(condition.predicted_lower_bound(), 0.0);
+}
+
+}  // namespace
+}  // namespace vrc::analysis

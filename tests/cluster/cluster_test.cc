@@ -1,0 +1,307 @@
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/trace.h"
+
+namespace vrc::cluster {
+namespace {
+
+using workload::JobId;
+using workload::JobSpec;
+using workload::MemoryProfile;
+
+JobSpec make_spec(JobId id, SimTime submit, double cpu_seconds, Bytes demand,
+                  workload::NodeId home = 0, double touch_rate = 0.0) {
+  JobSpec spec;
+  spec.id = id;
+  spec.program = "test";
+  spec.submit_time = submit;
+  spec.home_node = home;
+  spec.cpu_seconds = cpu_seconds;
+  spec.touch_rate = touch_rate;
+  spec.memory = MemoryProfile::constant(demand);
+  return spec;
+}
+
+/// Places every arrival on its home node immediately; records callbacks.
+class ScriptedPolicy : public SchedulerPolicy {
+ public:
+  enum class Mode { kPlaceLocal, kLeavePending, kPlaceRemoteOn1 };
+
+  explicit ScriptedPolicy(Mode mode = Mode::kPlaceLocal) : mode_(mode) {}
+
+  const char* name() const override { return "scripted"; }
+
+  void on_job_arrival(Cluster& cluster, RunningJob& job) override {
+    ++arrivals;
+    switch (mode_) {
+      case Mode::kPlaceLocal:
+        cluster.place_local(job, job.home_node);
+        break;
+      case Mode::kLeavePending:
+        break;
+      case Mode::kPlaceRemoteOn1:
+        cluster.place_remote(job, 1);
+        break;
+    }
+  }
+  void on_job_completed(Cluster&, const CompletedJob& record) override {
+    completed_ids.push_back(record.id);
+  }
+  void on_node_pressure(Cluster&, Workstation& node) override {
+    pressure_events.push_back(node.id());
+  }
+  void on_periodic(Cluster&) override { ++periodic_calls; }
+  void on_migration_complete(Cluster&, RunningJob& job) override {
+    migration_completions.push_back(job.id());
+  }
+
+  Mode mode_;
+  int arrivals = 0;
+  int periodic_calls = 0;
+  std::vector<JobId> completed_ids;
+  std::vector<NodeId> pressure_events;
+  std::vector<JobId> migration_completions;
+};
+
+ClusterConfig small_config(std::size_t nodes = 4) {
+  return ClusterConfig::paper_cluster1(nodes);
+}
+
+TEST(ClusterTest, JobArrivesAtSubmitTime) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 5.0, 1.0, megabytes(10)));
+  sim.run_until(4.9);
+  EXPECT_EQ(policy.arrivals, 0);
+  sim.run_until(5.0);
+  EXPECT_EQ(policy.arrivals, 1);
+}
+
+TEST(ClusterTest, LocalJobRunsToCompletion) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 2.0, megabytes(10)));
+  sim.run_until(100.0);
+  ASSERT_EQ(cluster.completed().size(), 1u);
+  const CompletedJob& job = cluster.completed()[0];
+  EXPECT_EQ(job.id, 1u);
+  EXPECT_NEAR(job.completion_time, 2.0, 0.05);
+  EXPECT_NEAR(job.t_cpu, 2.0, 0.05);
+  EXPECT_TRUE(cluster.finished());
+  EXPECT_EQ(policy.completed_ids, (std::vector<JobId>{1}));
+}
+
+TEST(ClusterTest, SimulatorDrainsAfterFinish) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 1.0, megabytes(10)));
+  sim.run();  // must terminate: periodic tasks stop at finish
+  EXPECT_TRUE(cluster.finished());
+  EXPECT_NEAR(cluster.finish_time(), 1.0, 0.05);
+}
+
+TEST(ClusterTest, PendingJobAccruesQueueTime) {
+  sim::Simulator sim;
+  ScriptedPolicy policy(ScriptedPolicy::Mode::kLeavePending);
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 1.0, megabytes(10)));
+  sim.run_until(10.0);
+  ASSERT_EQ(cluster.pending_count(), 1u);
+  RunningJob* job = cluster.pending_jobs()[0];
+  // Queue time is attributed at placement.
+  cluster.place_local(*job, 0);
+  EXPECT_NEAR(job->t_queue, 10.0, 1e-6);
+  sim.run_until(100.0);
+  ASSERT_EQ(cluster.completed().size(), 1u);
+  EXPECT_NEAR(cluster.completed()[0].t_queue, 10.0, 0.05);
+}
+
+TEST(ClusterTest, RemoteSubmissionChargesFixedCost) {
+  sim::Simulator sim;
+  ScriptedPolicy policy(ScriptedPolicy::Mode::kPlaceRemoteOn1);
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 2.0, megabytes(10), /*home=*/0));
+  sim.run_until(100.0);
+  ASSERT_EQ(cluster.completed().size(), 1u);
+  const CompletedJob& job = cluster.completed()[0];
+  EXPECT_EQ(job.final_node, 1u);
+  EXPECT_EQ(job.remote_submits, 1);
+  EXPECT_NEAR(job.t_mig, 0.1, 1e-6);
+  EXPECT_NEAR(job.completion_time, 2.1, 0.05);
+  EXPECT_EQ(cluster.remote_submits(), 1u);
+}
+
+TEST(ClusterTest, MigrationMovesJobAndChargesTransferTime) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 100.0, megabytes(50), /*home=*/0));
+  sim.run_until(10.0);
+  ASSERT_TRUE(cluster.start_migration(0, 1, 2));
+  EXPECT_EQ(cluster.node(2).incoming_count(), 1);
+  // Image ~50 MB at 10 Mbps: ~42 s + 0.1 s.
+  sim.run_until(10.0 + 42.0 + 0.2);
+  EXPECT_EQ(policy.migration_completions, (std::vector<JobId>{1}));
+  EXPECT_EQ(cluster.node(0).find_job(1), nullptr);
+  RunningJob* moved = cluster.node(2).find_job(1);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->phase, JobPhase::kRunning);
+  EXPECT_EQ(moved->migrations, 1);
+  EXPECT_NEAR(moved->t_mig, cluster.network().migration_cost(moved->demand), 0.02);
+  EXPECT_EQ(cluster.node(2).incoming_count(), 0);
+}
+
+TEST(ClusterTest, MigrationOfMissingJobFails) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  EXPECT_FALSE(cluster.start_migration(0, 99, 1));
+}
+
+TEST(ClusterTest, MigrationToSelfFails) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 10.0, megabytes(10)));
+  sim.run_until(1.0);
+  EXPECT_FALSE(cluster.start_migration(0, 1, 0));
+}
+
+TEST(ClusterTest, DoubleMigrationRejected) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 100.0, megabytes(50)));
+  sim.run_until(1.0);
+  ASSERT_TRUE(cluster.start_migration(0, 1, 1));
+  EXPECT_FALSE(cluster.start_migration(0, 1, 2));  // already migrating
+}
+
+TEST(ClusterTest, SuspendAndResume) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 2.0, megabytes(100)));
+  sim.run_until(1.0);
+  ASSERT_TRUE(cluster.suspend_job(0, 1));
+  EXPECT_FALSE(cluster.suspend_job(0, 1));  // already suspended
+  EXPECT_EQ(cluster.node(0).resident_demand(), 0);
+  sim.run_until(5.0);
+  RunningJob* job = cluster.node(0).find_job(1);
+  ASSERT_NE(job, nullptr);
+  EXPECT_LT(job->cpu_done, 1.5);  // made no progress while suspended
+  ASSERT_TRUE(cluster.resume_job(0, 1));
+  EXPECT_FALSE(cluster.resume_job(0, 1));  // already running
+  sim.run_until(100.0);
+  ASSERT_EQ(cluster.completed().size(), 1u);
+  // ~1 s ran, 4 s suspended (queued), ~1 s ran.
+  EXPECT_NEAR(cluster.completed()[0].t_queue, 4.0, 0.1);
+}
+
+TEST(ClusterTest, PressureCallbackFiresForOvercommittedNode) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  // Two jobs whose combined demand exceeds 368 MB user memory.
+  cluster.submit_job(make_spec(1, 0.0, 50.0, megabytes(250), 0, 100.0));
+  cluster.submit_job(make_spec(2, 0.0, 50.0, megabytes(250), 0, 100.0));
+  sim.run_until(5.0);
+  EXPECT_FALSE(policy.pressure_events.empty());
+  for (NodeId node : policy.pressure_events) EXPECT_EQ(node, 0u);
+}
+
+TEST(ClusterTest, PressureCallbackIsRateLimited) {
+  sim::Simulator sim;
+  ClusterConfig config = small_config();
+  config.pressure_callback_interval = 1.0;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, config, policy);
+  cluster.submit_job(make_spec(1, 0.0, 50.0, megabytes(250), 0, 100.0));
+  cluster.submit_job(make_spec(2, 0.0, 50.0, megabytes(250), 0, 100.0));
+  sim.run_until(10.0);
+  // At most one event per second (plus the initial one).
+  EXPECT_LE(policy.pressure_events.size(), 11u);
+}
+
+TEST(ClusterTest, SubmitTraceSchedulesAllJobs) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  std::vector<JobSpec> specs;
+  for (JobId i = 1; i <= 5; ++i) {
+    specs.push_back(make_spec(i, static_cast<double>(i), 0.5, megabytes(10), i % 4));
+  }
+  workload::Trace trace("t", workload::WorkloadGroup::kSpec, 10.0, specs);
+  cluster.submit_trace(trace);
+  EXPECT_EQ(cluster.submitted_count(), 5u);
+  sim.run_until(1000.0);
+  EXPECT_EQ(cluster.completed().size(), 5u);
+  EXPECT_TRUE(cluster.finished());
+}
+
+TEST(ClusterTest, FinishCallbackFiresOnce) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  int finishes = 0;
+  SimTime finish_time = 0.0;
+  cluster.add_finish_callback([&](SimTime t) {
+    ++finishes;
+    finish_time = t;
+  });
+  cluster.submit_job(make_spec(1, 0.0, 1.0, megabytes(10)));
+  sim.run_until(50.0);
+  EXPECT_EQ(finishes, 1);
+  EXPECT_NEAR(finish_time, 1.0, 0.05);
+}
+
+TEST(ClusterTest, LiveIdleMemoryIgnoresIncomingReservations) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(2), policy);
+  const Bytes user = cluster.node(0).user_memory();
+  EXPECT_EQ(cluster.live_idle_memory(), 2 * user);
+  cluster.node(0).add_incoming(9, megabytes(100));
+  // Incoming reservations do not hold physical pages yet.
+  EXPECT_EQ(cluster.live_idle_memory(), 2 * user);
+}
+
+TEST(ClusterTest, LiveActiveJobsSkipsReservedNodes) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 50.0, megabytes(10), 0));
+  cluster.submit_job(make_spec(2, 0.0, 50.0, megabytes(10), 1));
+  sim.run_until(1.0);
+  EXPECT_EQ(cluster.live_active_jobs(false).size(), 4u);
+  cluster.set_reserved(1, true);
+  auto counts = cluster.live_active_jobs(true);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(ClusterTest, AccountingIdentityAcrossMechanisms) {
+  // A job that pends, runs, migrates, and completes: its wall clock must
+  // decompose exactly into the four §5 buckets.
+  sim::Simulator sim;
+  ScriptedPolicy policy(ScriptedPolicy::Mode::kLeavePending);
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 20.0, megabytes(40)));
+  sim.run_until(3.0);
+  cluster.place_local(*cluster.pending_jobs()[0], 0);
+  sim.run_until(8.0);
+  ASSERT_TRUE(cluster.start_migration(0, 1, 2));
+  sim.run_until(500.0);
+  ASSERT_EQ(cluster.completed().size(), 1u);
+  const CompletedJob& job = cluster.completed()[0];
+  EXPECT_NEAR(job.t_cpu + job.t_page + job.t_queue + job.t_mig, job.wall_clock(), 0.05);
+  EXPECT_GT(job.t_queue, 2.9);  // the pending phase
+  EXPECT_GT(job.t_mig, 30.0);   // ~40 MB over 10 Mbps
+}
+
+}  // namespace
+}  // namespace vrc::cluster

@@ -1,0 +1,74 @@
+#include "cluster/load_index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace vrc::cluster {
+namespace {
+
+LoadInfo info_of(NodeId node, Bytes idle, Bytes user = megabytes(368), int slots = 0) {
+  LoadInfo info;
+  info.node = node;
+  info.idle_memory = idle;
+  info.user_memory = user;
+  info.slots_used = slots;
+  return info;
+}
+
+TEST(LoadInfoBoardTest, StartsEmpty) {
+  LoadInfoBoard board(4);
+  EXPECT_EQ(board.size(), 4u);
+  EXPECT_EQ(board.cluster_idle_memory(), 0);
+  EXPECT_EQ(board.info(2).timestamp, 0.0);
+}
+
+TEST(LoadInfoBoardTest, UpdateStoresByNode) {
+  LoadInfoBoard board(4);
+  board.update(info_of(2, megabytes(100)));
+  EXPECT_EQ(board.info(2).idle_memory, megabytes(100));
+  EXPECT_EQ(board.info(1).idle_memory, 0);
+}
+
+TEST(LoadInfoBoardTest, ClusterIdleMemorySums) {
+  LoadInfoBoard board(3);
+  board.update(info_of(0, megabytes(50)));
+  board.update(info_of(1, megabytes(70)));
+  board.update(info_of(2, megabytes(0)));
+  EXPECT_EQ(board.cluster_idle_memory(), megabytes(120));
+}
+
+TEST(LoadInfoBoardTest, AverageUserMemory) {
+  LoadInfoBoard board(2);
+  board.update(info_of(0, 0, megabytes(368)));
+  board.update(info_of(1, 0, megabytes(112)));
+  EXPECT_EQ(board.average_user_memory(), megabytes(240));
+}
+
+TEST(LoadInfoBoardTest, NotePlacementBumpsSlotAndDemand) {
+  LoadInfoBoard board(2);
+  board.update(info_of(0, megabytes(100), megabytes(368), 2));
+  board.note_placement(0, megabytes(60));
+  EXPECT_EQ(board.info(0).slots_used, 3);
+  EXPECT_EQ(board.info(0).idle_memory, megabytes(40));
+  EXPECT_EQ(board.info(0).total_demand, megabytes(60));
+}
+
+TEST(LoadInfoBoardTest, NotePlacementFloorsIdleAtZero) {
+  LoadInfoBoard board(1);
+  board.update(info_of(0, megabytes(30)));
+  board.note_placement(0, megabytes(60));
+  EXPECT_EQ(board.info(0).idle_memory, 0);
+}
+
+TEST(LoadInfoBoardTest, ExchangeOverwritesBookkeeping) {
+  LoadInfoBoard board(1);
+  board.update(info_of(0, megabytes(100)));
+  board.note_placement(0, megabytes(60));
+  board.update(info_of(0, megabytes(90)));  // fresh snapshot supersedes
+  EXPECT_EQ(board.info(0).idle_memory, megabytes(90));
+  EXPECT_EQ(board.info(0).slots_used, 0);
+}
+
+}  // namespace
+}  // namespace vrc::cluster

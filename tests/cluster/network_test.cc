@@ -1,0 +1,94 @@
+#include "cluster/network.h"
+
+#include <gtest/gtest.h>
+
+namespace vrc::cluster {
+namespace {
+
+ClusterConfig config_with_contention(bool contention) {
+  ClusterConfig config = ClusterConfig::paper_cluster1(2);
+  config.network_contention = contention;
+  return config;
+}
+
+TEST(NetworkTest, MigrationCostMatchesPaperFormula) {
+  sim::Simulator sim;
+  ClusterConfig config = config_with_contention(false);
+  Network net(sim, config);
+  // r + D/B with r = 0.1 s, B = 10 Mbps.
+  const Bytes image = megabytes(100);
+  const double expected = 0.1 + static_cast<double>(image) / 1.25e6;
+  EXPECT_DOUBLE_EQ(net.migration_cost(image), expected);
+  EXPECT_DOUBLE_EQ(net.migration_cost(0), 0.1);
+}
+
+TEST(NetworkTest, RemoteSubmitCostsFixedR) {
+  sim::Simulator sim;
+  ClusterConfig config = config_with_contention(false);
+  Network net(sim, config);
+  double completed_at = -1.0;
+  net.start_remote_submit([&] { completed_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(completed_at, 0.1);
+}
+
+TEST(NetworkTest, TransferCompletesAfterCost) {
+  sim::Simulator sim;
+  ClusterConfig config = config_with_contention(false);
+  Network net(sim, config);
+  double completed_at = -1.0;
+  const Bytes image = megabytes(10);
+  net.start_transfer(image, [&] { completed_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(completed_at, net.migration_cost(image), 1e-9);
+}
+
+TEST(NetworkTest, WithoutContentionTransfersOverlap) {
+  sim::Simulator sim;
+  ClusterConfig config = config_with_contention(false);
+  Network net(sim, config);
+  std::vector<double> completions;
+  net.start_transfer(megabytes(10), [&] { completions.push_back(sim.now()); });
+  net.start_transfer(megabytes(10), [&] { completions.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_DOUBLE_EQ(completions[0], completions[1]);
+}
+
+TEST(NetworkTest, WithContentionTransfersSerialize) {
+  sim::Simulator sim;
+  ClusterConfig config = config_with_contention(true);
+  Network net(sim, config);
+  std::vector<double> completions;
+  net.start_transfer(megabytes(10), [&] { completions.push_back(sim.now()); });
+  net.start_transfer(megabytes(10), [&] { completions.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(completions.size(), 2u);
+  const double one = net.migration_cost(megabytes(10));
+  EXPECT_NEAR(completions[0], one, 1e-9);
+  EXPECT_NEAR(completions[1], 2.0 * one, 1e-9);
+}
+
+TEST(NetworkTest, StatisticsTrackTransfers) {
+  sim::Simulator sim;
+  ClusterConfig config = config_with_contention(false);
+  Network net(sim, config);
+  net.start_transfer(megabytes(3), [] {});
+  net.start_transfer(megabytes(4), [] {});
+  sim.run();
+  EXPECT_EQ(net.transfers_started(), 2u);
+  EXPECT_EQ(net.bytes_transferred(), megabytes(7));
+}
+
+TEST(NetworkTest, FasterLinkShrinksMigrationCost) {
+  sim::Simulator sim;
+  ClusterConfig config = config_with_contention(false);
+  config.network_mbps = 100.0;
+  Network fast(sim, config);
+  config.network_mbps = 10.0;
+  Network slow(sim, config);
+  EXPECT_LT(fast.migration_cost(megabytes(100)), slow.migration_cost(megabytes(100)));
+}
+
+}  // namespace
+}  // namespace vrc::cluster

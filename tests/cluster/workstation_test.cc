@@ -1,0 +1,329 @@
+#include "cluster/workstation.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/job.h"
+
+namespace vrc::cluster {
+namespace {
+
+ClusterConfig test_config() {
+  ClusterConfig config = ClusterConfig::paper_cluster1(1);
+  return config;
+}
+
+// A job spec with constant memory demand, owned by the fixture.
+workload::JobSpec make_spec(workload::JobId id, double cpu_seconds, Bytes demand,
+                            double touch_rate = 0.0) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.program = "test";
+  spec.cpu_seconds = cpu_seconds;
+  spec.touch_rate = touch_rate;
+  spec.memory = workload::MemoryProfile::constant(demand);
+  return spec;
+}
+
+std::unique_ptr<RunningJob> make_job(const workload::JobSpec& spec) {
+  auto job = std::make_unique<RunningJob>();
+  job->spec = &spec;
+  job->phase = JobPhase::kRunning;
+  job->demand = spec.memory.demand_at(0.0);
+  job->accounted_until = 0.0;
+  return job;
+}
+
+class WorkstationTest : public ::testing::Test {
+ protected:
+  WorkstationTest() : config_(test_config()), node_(0, config_.nodes[0], config_) {}
+
+  // Runs `seconds` of simulation in config ticks; returns all completions.
+  std::vector<std::unique_ptr<RunningJob>> run(double seconds) {
+    std::vector<std::unique_ptr<RunningJob>> completed;
+    const double dt = config_.tick;
+    for (double t = dt; t <= seconds + 1e-9; t += dt) {
+      now_ += dt;
+      auto outcome = node_.tick(now_, dt, rng_);
+      for (auto& job : outcome.completed) completed.push_back(std::move(job));
+    }
+    return completed;
+  }
+
+  ClusterConfig config_;
+  Workstation node_;
+  sim::Rng rng_{1};
+  double now_ = 0.0;
+};
+
+TEST_F(WorkstationTest, UserMemoryExcludesKernel) {
+  EXPECT_EQ(node_.user_memory(), megabytes(384) - megabytes(16));
+}
+
+TEST_F(WorkstationTest, EmptyNodeHasFullIdleMemory) {
+  EXPECT_EQ(node_.idle_memory(), node_.user_memory());
+  EXPECT_EQ(node_.active_jobs(), 0);
+  EXPECT_EQ(node_.overcommit(), 0.0);
+  EXPECT_FALSE(node_.memory_pressured());
+}
+
+TEST_F(WorkstationTest, SingleJobRunsAtFullSpeed) {
+  auto spec = make_spec(1, 10.0, megabytes(50));
+  node_.add_job(make_job(spec));
+  auto completed = run(10.0);
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_NEAR(completed[0]->t_cpu, 10.0, 0.02);
+  EXPECT_NEAR(completed[0]->t_page, 0.0, 1e-9);
+  EXPECT_NEAR(completed[0]->t_queue, 0.0, 0.02);
+}
+
+TEST_F(WorkstationTest, TwoJobsShareCpuRoundRobin) {
+  auto spec_a = make_spec(1, 5.0, megabytes(50));
+  auto spec_b = make_spec(2, 5.0, megabytes(50));
+  node_.add_job(make_job(spec_a));
+  node_.add_job(make_job(spec_b));
+  auto completed = run(10.5);
+  ASSERT_EQ(completed.size(), 2u);
+  // Each needs 5 s CPU at half speed -> ~10 s wall; queue ~ cpu time.
+  for (const auto& job : completed) {
+    EXPECT_NEAR(job->t_cpu, 5.0, 0.05);
+    EXPECT_NEAR(job->t_queue, 5.0, 0.15);  // includes context-switch overhead
+  }
+}
+
+TEST_F(WorkstationTest, ContextSwitchOverheadSlowsSharedExecution) {
+  // With quantum 10 ms and switch 0.1 ms, two jobs of 5 s CPU take slightly
+  // more than 10 s in total.
+  auto spec_a = make_spec(1, 5.0, megabytes(10));
+  auto spec_b = make_spec(2, 5.0, megabytes(10));
+  node_.add_job(make_job(spec_a));
+  node_.add_job(make_job(spec_b));
+  auto first = run(10.0);
+  EXPECT_TRUE(first.empty() || first.size() < 2u);  // not both done at exactly 10 s
+  run(0.3);
+  EXPECT_EQ(node_.active_jobs(), 0);
+}
+
+TEST_F(WorkstationTest, NoOvercommitNoFaults) {
+  auto spec = make_spec(1, 5.0, megabytes(200), /*touch_rate=*/500.0);
+  node_.add_job(make_job(spec));
+  auto completed = run(5.5);
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0]->faults, 0.0);
+  EXPECT_EQ(completed[0]->t_page, 0.0);
+}
+
+TEST_F(WorkstationTest, OvercommitGeneratesFaultsAndPageTime) {
+  auto spec_a = make_spec(1, 50.0, megabytes(250), 100.0);
+  auto spec_b = make_spec(2, 50.0, megabytes(250), 100.0);
+  node_.add_job(make_job(spec_a));
+  node_.add_job(make_job(spec_b));
+  run(10.0);
+  EXPECT_GT(node_.overcommit(), 0.0);
+  EXPECT_GT(node_.fault_rate(), 0.0);
+  EXPECT_GT(node_.total_faults(), 0.0);
+  const RunningJob* job = node_.find_job(1);
+  ASSERT_NE(job, nullptr);
+  EXPECT_GT(job->t_page, 0.0);
+  EXPECT_GT(job->faults, 0.0);
+}
+
+TEST_F(WorkstationTest, HigherTouchRateFaultsMore) {
+  auto spec_a = make_spec(1, 50.0, megabytes(250), 50.0);
+  auto spec_b = make_spec(2, 50.0, megabytes(250), 500.0);
+  node_.add_job(make_job(spec_a));
+  node_.add_job(make_job(spec_b));
+  run(10.0);
+  const RunningJob* calm = node_.find_job(1);
+  const RunningJob* hot = node_.find_job(2);
+  ASSERT_TRUE(calm && hot);
+  EXPECT_GT(hot->faults, calm->faults * 2.0);
+  // The hot job also makes less progress: its stalls eat its own turn.
+  EXPECT_LT(hot->cpu_done, calm->cpu_done);
+}
+
+TEST_F(WorkstationTest, OvercommitMatchesDefinition) {
+  auto spec_a = make_spec(1, 100.0, megabytes(300));
+  auto spec_b = make_spec(2, 100.0, megabytes(200));
+  node_.add_job(make_job(spec_a));
+  node_.add_job(make_job(spec_b));
+  const double resident = 500.0;
+  const double user = 368.0;
+  EXPECT_NEAR(node_.overcommit(), (resident - user) / resident, 1e-9);
+  EXPECT_TRUE(node_.memory_pressured());
+}
+
+TEST_F(WorkstationTest, AccountingIdentityHoldsPerJob) {
+  auto spec_a = make_spec(1, 7.0, megabytes(250), 200.0);
+  auto spec_b = make_spec(2, 9.0, megabytes(250), 200.0);
+  node_.add_job(make_job(spec_a));
+  node_.add_job(make_job(spec_b));
+  auto completed = run(60.0);
+  ASSERT_EQ(completed.size(), 2u);
+  for (const auto& job : completed) {
+    const double wall = job->accounted_until - 0.0;
+    EXPECT_NEAR(job->t_cpu + job->t_page + job->t_queue + job->t_mig, wall, 0.02)
+        << "job " << job->id();
+    EXPECT_NEAR(job->cpu_done, job->spec->cpu_seconds, 1e-6);
+  }
+}
+
+TEST_F(WorkstationTest, SuspendedJobsAccrueQueueOnly) {
+  auto spec = make_spec(1, 5.0, megabytes(100));
+  RunningJob& job = node_.add_job(make_job(spec));
+  job.phase = JobPhase::kSuspended;
+  run(2.0);
+  EXPECT_EQ(job.cpu_done, 0.0);
+  EXPECT_NEAR(job.t_queue, 2.0, 1e-6);
+  EXPECT_EQ(node_.active_jobs(), 0);  // suspended jobs hold no slot
+}
+
+TEST_F(WorkstationTest, SuspendedJobsFreeMemory) {
+  auto spec = make_spec(1, 5.0, megabytes(200));
+  RunningJob& job = node_.add_job(make_job(spec));
+  EXPECT_EQ(node_.resident_demand(), megabytes(200));
+  job.phase = JobPhase::kSuspended;
+  EXPECT_EQ(node_.resident_demand(), 0);
+}
+
+TEST_F(WorkstationTest, MigratingJobsHoldMemoryButGetNoCpu) {
+  auto spec = make_spec(1, 5.0, megabytes(200));
+  RunningJob& job = node_.add_job(make_job(spec));
+  job.phase = JobPhase::kMigrating;
+  run(2.0);
+  EXPECT_EQ(job.cpu_done, 0.0);
+  EXPECT_EQ(node_.resident_demand(), megabytes(200));
+  EXPECT_EQ(node_.active_jobs(), 1);  // still occupies its slot
+}
+
+TEST_F(WorkstationTest, IncomingReservationsCountTowardCommitted) {
+  node_.add_incoming(42, megabytes(100));
+  EXPECT_EQ(node_.committed_demand(), megabytes(100));
+  EXPECT_EQ(node_.incoming_count(), 1);
+  EXPECT_EQ(node_.slots_used(), 1);
+  EXPECT_EQ(node_.active_jobs(), 0);
+  node_.remove_incoming(42);
+  EXPECT_EQ(node_.committed_demand(), 0);
+  EXPECT_EQ(node_.slots_used(), 0);
+}
+
+TEST_F(WorkstationTest, AcceptsNewJobHonorsCpuThreshold) {
+  std::vector<workload::JobSpec> specs;
+  specs.reserve(static_cast<size_t>(config_.cpu_threshold));
+  for (int i = 0; i < config_.cpu_threshold; ++i) {
+    specs.push_back(make_spec(static_cast<workload::JobId>(i + 1), 100.0, megabytes(1)));
+  }
+  for (auto& spec : specs) node_.add_job(make_job(spec));
+  EXPECT_FALSE(node_.has_free_slot());
+  EXPECT_FALSE(node_.accepts_new_job(0));
+}
+
+TEST_F(WorkstationTest, AcceptsNewJobHonorsMemoryThreshold) {
+  const Bytes limit = static_cast<Bytes>(config_.memory_threshold *
+                                         static_cast<double>(node_.user_memory()));
+  auto spec = make_spec(1, 100.0, limit - megabytes(10));
+  node_.add_job(make_job(spec));
+  EXPECT_FALSE(node_.accepts_new_job(megabytes(20)));
+  EXPECT_TRUE(node_.accepts_new_job(megabytes(1)));
+}
+
+TEST_F(WorkstationTest, ReservedNodeRefusesJobs) {
+  node_.set_reserved(true);
+  EXPECT_FALSE(node_.accepts_new_job(0));
+  node_.set_reserved(false);
+  EXPECT_TRUE(node_.accepts_new_job(0));
+}
+
+TEST_F(WorkstationTest, MostMemoryIntensiveJobSelection) {
+  auto small = make_spec(1, 10.0, megabytes(50));
+  auto big = make_spec(2, 10.0, megabytes(200));
+  auto mid = make_spec(3, 10.0, megabytes(100));
+  node_.add_job(make_job(small));
+  node_.add_job(make_job(big));
+  node_.add_job(make_job(mid));
+  RunningJob* most = node_.most_memory_intensive_job();
+  ASSERT_NE(most, nullptr);
+  EXPECT_EQ(most->id(), 2u);
+}
+
+TEST_F(WorkstationTest, MostMemoryIntensiveSkipsMigrating) {
+  auto big = make_spec(1, 10.0, megabytes(200));
+  auto small = make_spec(2, 10.0, megabytes(50));
+  RunningJob& big_job = node_.add_job(make_job(big));
+  node_.add_job(make_job(small));
+  big_job.phase = JobPhase::kMigrating;
+  RunningJob* most = node_.most_memory_intensive_job();
+  ASSERT_NE(most, nullptr);
+  EXPECT_EQ(most->id(), 2u);
+}
+
+TEST_F(WorkstationTest, RemoveJobReturnsOwnership) {
+  auto spec = make_spec(1, 10.0, megabytes(50));
+  node_.add_job(make_job(spec));
+  auto removed = node_.remove_job(1);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->id(), 1u);
+  EXPECT_EQ(node_.remove_job(1), nullptr);
+  EXPECT_EQ(node_.find_job(1), nullptr);
+}
+
+TEST_F(WorkstationTest, FaultRateDecaysWhenLoadGone) {
+  auto spec_a = make_spec(1, 100.0, megabytes(250), 300.0);
+  auto spec_b = make_spec(2, 100.0, megabytes(250), 300.0);
+  node_.add_job(make_job(spec_a));
+  node_.add_job(make_job(spec_b));
+  run(5.0);
+  const double pressured_rate = node_.fault_rate();
+  EXPECT_GT(pressured_rate, 0.0);
+  node_.remove_job(1);
+  node_.remove_job(2);
+  run(10.0);
+  EXPECT_LT(node_.fault_rate(), pressured_rate * 0.05);
+}
+
+TEST_F(WorkstationTest, SnapshotReflectsState) {
+  auto spec = make_spec(1, 10.0, megabytes(100));
+  node_.add_job(make_job(spec));
+  node_.add_incoming(2, megabytes(50));
+  LoadInfo info = node_.snapshot(12.5);
+  EXPECT_EQ(info.node, 0u);
+  EXPECT_EQ(info.timestamp, 12.5);
+  EXPECT_EQ(info.active_jobs, 1);
+  EXPECT_EQ(info.slots_used, 2);
+  EXPECT_EQ(info.total_demand, megabytes(150));
+  EXPECT_EQ(info.idle_memory, node_.user_memory() - megabytes(150));
+  EXPECT_FALSE(info.reserved);
+  EXPECT_FALSE(info.pressured);
+}
+
+TEST_F(WorkstationTest, SlowerNodeTakesProportionallyLonger) {
+  ClusterConfig config = test_config();
+  config.nodes[0].cpu_mhz = 200.0;  // half the 400 MHz reference
+  Workstation slow(0, config.nodes[0], config);
+  auto spec = make_spec(1, 4.0, megabytes(50));
+  slow.add_job(make_job(spec));
+  sim::Rng rng(1);
+  double now = 0.0;
+  int completed = 0;
+  for (int i = 0; i < 900; ++i) {  // 9 s
+    now += config.tick;
+    completed += static_cast<int>(slow.tick(now, config.tick, rng).completed.size());
+  }
+  EXPECT_EQ(completed, 1);  // 4 ref-seconds at half speed ~ 8 s wall
+  EXPECT_GE(now, 8.0);
+}
+
+TEST_F(WorkstationTest, DemandFollowsProfileGrowth) {
+  workload::JobSpec spec;
+  spec.id = 1;
+  spec.cpu_seconds = 10.0;
+  spec.memory = workload::MemoryProfile::phased(
+      {{0.0, megabytes(10)}, {1.0, megabytes(110)}});
+  RunningJob& job = node_.add_job(make_job(spec));
+  EXPECT_EQ(job.demand, megabytes(10));
+  run(5.0);  // ~50% progress
+  EXPECT_GT(job.demand, megabytes(50));
+  EXPECT_LT(job.demand, megabytes(70));
+}
+
+}  // namespace
+}  // namespace vrc::cluster

@@ -1,0 +1,202 @@
+#include "core/g_load_sharing.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/trace.h"
+
+namespace vrc::core {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using workload::JobId;
+using workload::JobSpec;
+using workload::MemoryProfile;
+
+JobSpec make_spec(JobId id, SimTime submit, double cpu_seconds, Bytes demand,
+                  workload::NodeId home = 0, double touch_rate = 0.0) {
+  JobSpec spec;
+  spec.id = id;
+  spec.program = "test";
+  spec.submit_time = submit;
+  spec.home_node = home;
+  spec.cpu_seconds = cpu_seconds;
+  spec.touch_rate = touch_rate;
+  spec.memory = MemoryProfile::constant(demand);
+  return spec;
+}
+
+// A job whose demand is tiny at submission and ramps to `peak` over the
+// first 10% of its run — admission cannot foresee it (the premise of [3]).
+JobSpec surprise_spec(JobId id, SimTime submit, double cpu_seconds, Bytes peak,
+                      workload::NodeId home = 0, double touch_rate = 0.0) {
+  JobSpec spec = make_spec(id, submit, cpu_seconds, peak, home, touch_rate);
+  spec.memory = MemoryProfile::phased({{0.0, megabytes(4)}, {0.1, peak}});
+  return spec;
+}
+
+ClusterConfig config_of(std::size_t nodes) { return ClusterConfig::paper_cluster1(nodes); }
+
+TEST(GLoadSharingTest, AcceptsJobLocallyWhenHomeQualifies) {
+  sim::Simulator sim;
+  GLoadSharing policy;
+  Cluster cluster(sim, config_of(4), policy);
+  cluster.submit_job(make_spec(1, 0.0, 1.0, megabytes(10), /*home=*/2));
+  sim.run_until(0.5);
+  EXPECT_EQ(cluster.node(2).active_jobs(), 1);
+  EXPECT_EQ(cluster.local_placements(), 1u);
+  EXPECT_EQ(cluster.remote_submits(), 0u);
+}
+
+TEST(GLoadSharingTest, RemoteSubmitsWhenHomeSlotsFull) {
+  sim::Simulator sim;
+  ClusterConfig config = config_of(4);
+  GLoadSharing policy;
+  Cluster cluster(sim, config, policy);
+  // Fill home node 0 to its CPU threshold with tiny long jobs.
+  for (int i = 0; i < config.cpu_threshold; ++i) {
+    cluster.submit_job(
+        make_spec(static_cast<JobId>(i + 1), 0.0, 1000.0, megabytes(1), /*home=*/0));
+  }
+  sim.run_until(2.0);  // let the board refresh
+  cluster.submit_job(make_spec(99, 2.5, 1000.0, megabytes(1), /*home=*/0));
+  sim.run_until(3.5);
+  EXPECT_EQ(cluster.node(0).active_jobs(), config.cpu_threshold);
+  EXPECT_GE(cluster.remote_submits(), 1u);
+  // The overflow job landed somewhere else.
+  int elsewhere = 0;
+  for (std::size_t i = 1; i < cluster.num_nodes(); ++i) {
+    elsewhere += cluster.node(static_cast<workload::NodeId>(i)).active_jobs();
+  }
+  EXPECT_EQ(elsewhere, 1);
+}
+
+TEST(GLoadSharingTest, BlocksWhenNoWorkstationQualifies) {
+  sim::Simulator sim;
+  ClusterConfig config = config_of(2);
+  GLoadSharing policy;
+  Cluster cluster(sim, config, policy);
+  for (int node = 0; node < 2; ++node) {
+    for (int i = 0; i < config.cpu_threshold; ++i) {
+      cluster.submit_job(make_spec(static_cast<JobId>(node * 10 + i + 1), 0.0, 1000.0,
+                                   megabytes(1), static_cast<workload::NodeId>(node)));
+    }
+  }
+  sim.run_until(2.0);
+  cluster.submit_job(make_spec(99, 2.5, 10.0, megabytes(1), 0));
+  sim.run_until(4.0);
+  EXPECT_EQ(cluster.pending_count(), 1u);
+  EXPECT_GE(policy.blocked_submissions(), 1u);
+}
+
+TEST(GLoadSharingTest, PendingJobPlacedOnceCapacityFrees) {
+  sim::Simulator sim;
+  ClusterConfig config = config_of(1);
+  GLoadSharing policy;
+  Cluster cluster(sim, config, policy);
+  for (int i = 0; i < config.cpu_threshold; ++i) {
+    cluster.submit_job(make_spec(static_cast<JobId>(i + 1), 0.0, 5.0, megabytes(1), 0));
+  }
+  cluster.submit_job(make_spec(99, 1.0, 1.0, megabytes(1), 0));
+  sim.run_until(2.0);
+  EXPECT_EQ(cluster.pending_count(), 1u);
+  sim.run_until(200.0);
+  EXPECT_TRUE(cluster.finished());
+  EXPECT_EQ(cluster.completed().size(), static_cast<size_t>(config.cpu_threshold) + 1);
+}
+
+TEST(GLoadSharingTest, AdmissionRespectsMemoryThresholdViaEstimate) {
+  sim::Simulator sim;
+  ClusterConfig config = config_of(1);
+  GLoadSharing policy;
+  Cluster cluster(sim, config, policy);
+  // Occupy most of the memory threshold.
+  const Bytes user = cluster.node(0).user_memory();
+  const Bytes big = static_cast<Bytes>(config.memory_threshold * user) - megabytes(30);
+  cluster.submit_job(make_spec(1, 0.0, 1000.0, big, 0));
+  sim.run_until(1.0);
+  // A new job's unknown demand is assumed to be the admission estimate,
+  // which no longer fits: the submission blocks.
+  cluster.submit_job(make_spec(2, 1.5, 10.0, megabytes(1), 0));
+  sim.run_until(3.0);
+  EXPECT_EQ(cluster.pending_count(), 1u);
+}
+
+TEST(GLoadSharingTest, PressureTriggersMigrationToQualifiedNode) {
+  sim::Simulator sim;
+  ClusterConfig config = config_of(4);
+  GLoadSharing policy;
+  Cluster cluster(sim, config, policy);
+  // Node 0: two jobs that overcommit it once grown; other nodes empty.
+  cluster.submit_job(surprise_spec(1, 0.0, 300.0, megabytes(250), 0, 200.0));
+  cluster.submit_job(surprise_spec(2, 0.0, 300.0, megabytes(250), 0, 200.0));
+  sim.run_until(60.0);
+  EXPECT_GE(cluster.migrations_started(), 1u);
+  // After the ~160 s image transfer, the source node is no longer
+  // overcommitted.
+  sim.run_until(300.0);
+  EXPECT_LE(cluster.node(0).resident_demand(), cluster.node(0).user_memory());
+}
+
+TEST(GLoadSharingTest, NoMigrationWhenDisabled) {
+  sim::Simulator sim;
+  ClusterConfig config = config_of(4);
+  GLoadSharing::Options options;
+  options.enable_migration = false;
+  GLoadSharing policy(options);
+  Cluster cluster(sim, config, policy);
+  cluster.submit_job(surprise_spec(1, 0.0, 100.0, megabytes(250), 0, 200.0));
+  cluster.submit_job(surprise_spec(2, 0.0, 100.0, megabytes(250), 0, 200.0));
+  sim.run_until(100.0);
+  EXPECT_EQ(cluster.migrations_started(), 0u);
+  EXPECT_GE(policy.failed_migrations(), 1u);
+}
+
+TEST(GLoadSharingTest, MigrationBlockedWhenBiggestJobFitsNowhere) {
+  // The framework migrates find_most_memory_intensive_job() — exactly that
+  // job. When no workstation can hold it, the migration fails and the node
+  // stays overcommitted even though the *smaller* resident would fit
+  // elsewhere: this is the job blocking problem the paper attacks.
+  sim::Simulator sim;
+  ClusterConfig config = config_of(2);
+  GLoadSharing policy;
+  Cluster cluster(sim, config, policy);
+  // Node 1 half full: idle < 300 MB (but > 120 MB).
+  cluster.submit_job(make_spec(1, 0.0, 1000.0, megabytes(200), 1));
+  // Node 0: a 300 MB job plus a 120 MB job (demands unknown at admission).
+  cluster.submit_job(surprise_spec(2, 0.0, 1000.0, megabytes(300), 0, 200.0));
+  cluster.submit_job(surprise_spec(3, 0.0, 1000.0, megabytes(120), 0, 200.0));
+  sim.run_until(250.0);
+  EXPECT_EQ(cluster.migrations_started(), 0u);
+  EXPECT_GE(policy.failed_migrations(), 1u);
+  EXPECT_GT(cluster.node(0).overcommit(), 0.0);
+  EXPECT_NE(cluster.node(0).find_job(2), nullptr);
+  EXPECT_NE(cluster.node(0).find_job(3), nullptr);
+}
+
+TEST(GLoadSharingTest, StatsExposeCounters) {
+  GLoadSharing policy;
+  auto stats = policy.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].first, "blocked_submissions");
+  EXPECT_EQ(stats[1].first, "failed_migrations");
+}
+
+TEST(GLoadSharingTest, ReservedNodeNotUsedForSubmissions) {
+  sim::Simulator sim;
+  ClusterConfig config = config_of(2);
+  GLoadSharing policy;
+  Cluster cluster(sim, config, policy);
+  cluster.set_reserved(1, true);
+  // Fill node 0 completely; overflow has nowhere to go (node 1 reserved).
+  for (int i = 0; i < config.cpu_threshold; ++i) {
+    cluster.submit_job(make_spec(static_cast<JobId>(i + 1), 0.0, 50.0, megabytes(1), 0));
+  }
+  cluster.submit_job(make_spec(99, 1.0, 1.0, megabytes(1), 0));
+  sim.run_until(5.0);
+  EXPECT_EQ(cluster.node(1).active_jobs(), 0);
+  EXPECT_EQ(cluster.pending_count(), 1u);
+}
+
+}  // namespace
+}  // namespace vrc::core

@@ -1,0 +1,86 @@
+#include "core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "workload/trace_generator.h"
+
+namespace vrc::core {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using workload::JobId;
+using workload::JobSpec;
+using workload::MemoryProfile;
+
+JobSpec surprise_spec(JobId id, SimTime submit, double cpu_seconds, Bytes peak,
+                      workload::NodeId home = 0, double touch_rate = 0.0) {
+  JobSpec spec;
+  spec.id = id;
+  spec.program = "test";
+  spec.submit_time = submit;
+  spec.home_node = home;
+  spec.cpu_seconds = cpu_seconds;
+  spec.touch_rate = touch_rate;
+  spec.memory = MemoryProfile::phased({{0.0, megabytes(4)}, {0.1, peak}});
+  return spec;
+}
+
+TEST(OracleDemandsTest, NeverAdmitsAFutureCollision) {
+  // Two jobs that will both grow to 250 MB: the oracle sees the peaks and
+  // scatters them even though both look tiny at submission.
+  sim::Simulator sim;
+  OracleDemands policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  cluster.submit_job(surprise_spec(1, 0.0, 100.0, megabytes(250), 0, 300.0));
+  cluster.submit_job(surprise_spec(2, 0.0, 100.0, megabytes(250), 0, 300.0));
+  sim.run_until(2000.0);
+  ASSERT_TRUE(cluster.finished());
+  for (const auto& job : cluster.completed()) {
+    EXPECT_EQ(job.faults, 0.0) << "oracle placement must avoid all thrashing";
+  }
+  EXPECT_EQ(cluster.migrations_started(), 0u);
+}
+
+TEST(OracleDemandsTest, BlocksJobThatFitsNowhere) {
+  // Unlike the optimistic baseline, the oracle refuses placements that will
+  // not fit: a single workstation already holding 250 MB cannot take a job
+  // that will grow to 200 MB.
+  sim::Simulator sim;
+  OracleDemands policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(1), policy);
+  cluster.submit_job(surprise_spec(1, 0.0, 200.0, megabytes(250), 0, 300.0));
+  cluster.submit_job(surprise_spec(2, 1.0, 50.0, megabytes(200), 0, 300.0));
+  sim.run_until(50.0);
+  EXPECT_EQ(cluster.pending_count(), 1u);
+  EXPECT_EQ(cluster.node(0).active_jobs(), 1);
+}
+
+TEST(OracleDemandsTest, AtLeastMatchesBaselinePagingOnRealWorkload) {
+  workload::TraceParams params;
+  params.name = "oracle";
+  params.group = workload::WorkloadGroup::kSpec;
+  params.num_jobs = 120;
+  params.duration = 1200.0;
+  params.num_nodes = 8;
+  params.seed = 77;
+  const auto trace = workload::generate_trace(params);
+  const auto config = paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
+  const auto baseline = run_policy_on_trace(PolicyKind::kGLoadSharing, trace, config);
+  const auto oracle = run_policy_on_trace(PolicyKind::kOracleDemands, trace, config);
+  EXPECT_EQ(oracle.jobs_completed, oracle.jobs_submitted);
+  // Perfect demand knowledge eliminates (almost) all paging.
+  EXPECT_LE(oracle.total_page, baseline.total_page);
+  EXPECT_LT(oracle.total_page, 0.02 * oracle.total_execution + 1.0);
+}
+
+TEST(OracleDemandsTest, RegisteredInPolicyFactory) {
+  auto policy = make_policy(PolicyKind::kOracleDemands);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_STREQ(policy->name(), "Oracle-Demands");
+  EXPECT_STREQ(to_string(PolicyKind::kOracleDemands), "Oracle-Demands");
+}
+
+}  // namespace
+}  // namespace vrc::core

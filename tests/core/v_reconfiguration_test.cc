@@ -1,0 +1,210 @@
+#include "core/v_reconfiguration.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vrc::core {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using workload::JobId;
+using workload::JobSpec;
+using workload::MemoryProfile;
+
+JobSpec make_spec(JobId id, SimTime submit, double cpu_seconds, Bytes demand,
+                  workload::NodeId home = 0, double touch_rate = 0.0) {
+  JobSpec spec;
+  spec.id = id;
+  spec.program = "test";
+  spec.submit_time = submit;
+  spec.home_node = home;
+  spec.cpu_seconds = cpu_seconds;
+  spec.touch_rate = touch_rate;
+  spec.memory = MemoryProfile::constant(demand);
+  return spec;
+}
+
+// Demand is tiny at submission and ramps to `peak` over the first 10% of
+// the run: admission cannot foresee it, so collisions can form.
+JobSpec surprise_spec(JobId id, SimTime submit, double cpu_seconds, Bytes peak,
+                      workload::NodeId home = 0, double touch_rate = 0.0) {
+  JobSpec spec = make_spec(id, submit, cpu_seconds, peak, home, touch_rate);
+  spec.memory = MemoryProfile::phased({{0.0, megabytes(4)}, {0.1, peak}});
+  return spec;
+}
+
+// A scenario that forces the blocking problem on node 0: two large jobs
+// collide there while every other node is too full to host either of them,
+// yet has jobs that finish soon (accumulated idle memory appears).
+void build_blocking_scenario(Cluster& cluster) {
+  // Node 0: two jobs growing to 250 MB -> 500 MB on 368 MB of user memory.
+  cluster.submit_job(surprise_spec(1, 0.0, 400.0, megabytes(250), 0, 300.0));
+  cluster.submit_job(surprise_spec(2, 0.0, 400.0, megabytes(250), 0, 300.0));
+  // Nodes 1..3: two mid jobs each (idle < 250 MB, so no migration target),
+  // with short lifetimes so reserved drains can complete.
+  JobId id = 10;
+  for (workload::NodeId node = 1; node <= 3; ++node) {
+    cluster.submit_job(make_spec(id++, 0.0, 60.0, megabytes(120), node));
+    cluster.submit_job(make_spec(id++, 0.0, 120.0, megabytes(120), node));
+  }
+}
+
+TEST(VReconfigurationTest, DetectsBlockingAndReserves) {
+  sim::Simulator sim;
+  VReconfiguration policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  build_blocking_scenario(cluster);
+  sim.run_until(400.0);
+  EXPECT_GE(policy.reservations_started(), 1u);
+  EXPECT_GE(policy.reserved_migrations(), 1u);
+}
+
+TEST(VReconfigurationTest, BigJobEndsUpOnReservedNode) {
+  sim::Simulator sim;
+  VReconfiguration policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  build_blocking_scenario(cluster);
+  sim.run_until(700.0);
+  // One of the two colliding jobs must have been isolated; node 0 is no
+  // longer overcommitted.
+  EXPECT_LE(cluster.node(0).resident_demand(), cluster.node(0).user_memory());
+}
+
+TEST(VReconfigurationTest, ResolvesBlockingFasterThanBaseline) {
+  auto run_with = [](cluster::SchedulerPolicy& policy) {
+    sim::Simulator sim;
+    Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+    build_blocking_scenario(cluster);
+    sim.run_until(20000.0);
+    EXPECT_TRUE(cluster.finished());
+    return cluster.finish_time();
+  };
+  GLoadSharing baseline;
+  VReconfiguration vrecon;
+  const double baseline_time = run_with(baseline);
+  const double vrecon_time = run_with(vrecon);
+  EXPECT_LT(vrecon_time, baseline_time);
+}
+
+TEST(VReconfigurationTest, ReservationReleasedAfterService) {
+  sim::Simulator sim;
+  VReconfiguration policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  build_blocking_scenario(cluster);
+  sim.run_until(20000.0);
+  EXPECT_TRUE(cluster.finished());
+  EXPECT_EQ(policy.active_reservations(), 0);
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    EXPECT_FALSE(cluster.node(static_cast<workload::NodeId>(i)).reserved()) << "node " << i;
+  }
+}
+
+TEST(VReconfigurationTest, NoReconfigurationWithoutOvercommit) {
+  sim::Simulator sim;
+  VReconfiguration policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  for (JobId i = 1; i <= 8; ++i) {
+    cluster.submit_job(make_spec(i, 0.0, 20.0, megabytes(40), i % 4));
+  }
+  sim.run_until(1000.0);
+  EXPECT_TRUE(cluster.finished());
+  EXPECT_EQ(policy.reservations_started(), 0u);
+  EXPECT_EQ(policy.reserved_migrations(), 0u);
+}
+
+TEST(VReconfigurationTest, DeclinesWhenClusterIdleTooSmall) {
+  sim::Simulator sim;
+  VReconfiguration::Options options;
+  // Demand an absurd amount of accumulated idle memory: reconfiguration can
+  // never activate (§2.3 condition).
+  options.min_cluster_idle_factor = 1000.0;
+  VReconfiguration policy(options);
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  build_blocking_scenario(cluster);
+  sim.run_until(300.0);
+  EXPECT_EQ(policy.reservations_started(), 0u);
+}
+
+TEST(VReconfigurationTest, RespectsMaxReservations) {
+  sim::Simulator sim;
+  VReconfiguration::Options options;
+  options.max_reservations = 1;
+  VReconfiguration policy(options);
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  build_blocking_scenario(cluster);
+  sim.run_until(100.0);
+  EXPECT_LE(policy.active_reservations(), 1);
+}
+
+TEST(VReconfigurationTest, IgnoresPressureFromNormalSizedJobs) {
+  sim::Simulator sim;
+  VReconfiguration policy;
+  // 2-node cluster; node 0 overcommitted by many *small* jobs — CPU/paging
+  // congestion without a large job. Reconfiguration must not trigger.
+  ClusterConfig config = ClusterConfig::paper_cluster1(2);
+  config.cpu_threshold = 12;
+  Cluster cluster(sim, config, policy);
+  for (JobId i = 1; i <= 10; ++i) {
+    cluster.submit_job(make_spec(i, 0.0, 60.0, megabytes(45), 0, 150.0));
+  }
+  sim.run_until(60.0);
+  EXPECT_EQ(policy.reservations_started(), 0u);
+}
+
+TEST(VReconfigurationTest, FullDrainVariantAlsoResolves) {
+  sim::Simulator sim;
+  VReconfiguration::Options options;
+  options.early_release = false;
+  options.reserve_timeout = 1000.0;
+  VReconfiguration policy(options);
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  build_blocking_scenario(cluster);
+  sim.run_until(20000.0);
+  EXPECT_TRUE(cluster.finished());
+  EXPECT_GE(policy.reserved_migrations(), 1u);
+}
+
+TEST(VReconfigurationTest, DrainTimeoutAbandonsStuckReservation) {
+  sim::Simulator sim;
+  VReconfiguration::Options options;
+  options.early_release = false;   // force long drains
+  options.reserve_timeout = 30.0;  // give up quickly
+  VReconfiguration policy(options);
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  // Same blocking shape but with long-lived fillers: drains cannot finish.
+  cluster.submit_job(surprise_spec(1, 0.0, 400.0, megabytes(250), 0, 300.0));
+  cluster.submit_job(surprise_spec(2, 0.0, 400.0, megabytes(250), 0, 300.0));
+  JobId id = 10;
+  for (workload::NodeId node = 1; node <= 3; ++node) {
+    cluster.submit_job(make_spec(id++, 0.0, 5000.0, megabytes(120), node));
+    cluster.submit_job(make_spec(id++, 0.0, 5000.0, megabytes(120), node));
+  }
+  sim.run_until(500.0);
+  auto stats = policy.stats();
+  double timed_out = 0;
+  for (const auto& [key, value] : stats) {
+    if (key == "drains_timed_out") timed_out = value;
+  }
+  EXPECT_GE(timed_out, 1.0);
+  // Released reservations must leave no node permanently flagged.
+  int reserved_nodes = 0;
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    if (cluster.node(static_cast<workload::NodeId>(i)).reserved()) ++reserved_nodes;
+  }
+  EXPECT_EQ(reserved_nodes, policy.active_reservations());
+}
+
+TEST(VReconfigurationTest, StatsIncludeReconfigurationCounters) {
+  VReconfiguration policy;
+  auto stats = policy.stats();
+  std::set<std::string> keys;
+  for (const auto& [key, value] : stats) keys.insert(key);
+  EXPECT_TRUE(keys.count("reservations_started"));
+  EXPECT_TRUE(keys.count("reserved_migrations"));
+  EXPECT_TRUE(keys.count("drains_timed_out"));
+}
+
+}  // namespace
+}  // namespace vrc::core

@@ -1,0 +1,102 @@
+// Coarse shape checks against the paper's evaluation, scaled down so the
+// suite stays fast: V-Reconfiguration must not lose materially anywhere, and
+// must win clearly on a memory-blocking-heavy workload. The full-scale
+// reproduction (32 nodes, published trace shapes) lives in bench/.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "workload/trace_generator.h"
+
+namespace vrc {
+namespace {
+
+workload::Trace scaled_trace(workload::WorkloadGroup group, double sigma_mu,
+                             std::size_t num_jobs, std::uint64_t seed) {
+  workload::TraceParams params;
+  params.name = "scaled";
+  params.group = group;
+  params.sigma = sigma_mu;
+  params.mu = sigma_mu;
+  params.num_jobs = num_jobs;
+  params.duration = 1800.0;
+  params.num_nodes = 8;
+  params.seed = seed;
+  return workload::generate_trace(params);
+}
+
+TEST(PaperShapeTest, VReconNeverLosesBadlyOnModerateLoad) {
+  const auto trace = scaled_trace(workload::WorkloadGroup::kSpec, 3.0, 120, 42);
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
+  const auto c = core::compare_policies(core::PolicyKind::kGLoadSharing,
+                                        core::PolicyKind::kVReconfiguration, trace, config);
+  EXPECT_EQ(c.baseline.jobs_completed, c.baseline.jobs_submitted);
+  EXPECT_EQ(c.ours.jobs_completed, c.ours.jobs_submitted);
+  EXPECT_GT(c.execution_reduction(), -0.08);
+}
+
+TEST(PaperShapeTest, LoadSharingBeatsLocalOnly) {
+  // Sanity anchor predating the paper: any load sharing beats none.
+  const auto trace = scaled_trace(workload::WorkloadGroup::kSpec, 3.0, 120, 43);
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
+  const auto c = core::compare_policies(core::PolicyKind::kLocalOnly,
+                                        core::PolicyKind::kGLoadSharing, trace, config);
+  EXPECT_GT(c.execution_reduction(), 0.10);
+  EXPECT_GT(c.slowdown_reduction(), 0.10);
+}
+
+TEST(PaperShapeTest, PagingTimeDropsUnderVRecon) {
+  // The §5 model: paging-time reduction is the primary gain source. Average
+  // over a few seeds to damp single-realization noise.
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
+  double base_page = 0.0, ours_page = 0.0;
+  for (std::uint64_t seed : {50u, 51u, 52u}) {
+    const auto trace = scaled_trace(workload::WorkloadGroup::kSpec, 2.0, 170, seed);
+    const auto c = core::compare_policies(core::PolicyKind::kGLoadSharing,
+                                          core::PolicyKind::kVReconfiguration, trace, config);
+    base_page += c.baseline.total_page;
+    ours_page += c.ours.total_page;
+  }
+  EXPECT_LT(ours_page, base_page);
+}
+
+TEST(PaperShapeTest, CpuTimeIdenticalAcrossPolicies) {
+  // §5: "The jobs demand identical CPU services on both cluster
+  // environment, so that T_cpu = T̂_cpu."
+  const auto trace = scaled_trace(workload::WorkloadGroup::kApps, 3.0, 100, 44);
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kApps, 8);
+  const auto c = core::compare_policies(core::PolicyKind::kGLoadSharing,
+                                        core::PolicyKind::kVReconfiguration, trace, config);
+  EXPECT_NEAR(c.baseline.total_cpu, c.ours.total_cpu, 0.01 * c.baseline.total_cpu + 1.0);
+}
+
+TEST(PaperShapeTest, SamplingIntervalInsensitivity) {
+  // §4.1/§4.2: idle-memory and skew averages are nearly identical at 1 s,
+  // 10 s, and 30 s sampling.
+  const auto trace = scaled_trace(workload::WorkloadGroup::kSpec, 3.0, 120, 45);
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
+  core::ExperimentOptions options;
+  options.collector.sampling_intervals = {1.0, 10.0, 30.0};
+  const auto report =
+      core::run_policy_on_trace(core::PolicyKind::kGLoadSharing, trace, config, options);
+  ASSERT_EQ(report.idle_memory_mb.size(), 3u);
+  const double reference = report.idle_memory_mb[0].average;
+  for (const auto& signal : report.idle_memory_mb) {
+    EXPECT_NEAR(signal.average, reference, 0.10 * reference + 1.0)
+        << "interval " << signal.interval;
+  }
+}
+
+TEST(PaperShapeTest, HigherArrivalRateRaisesSlowdown) {
+  // Within a policy, the five trace intensities order the slowdowns.
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
+  const auto light = scaled_trace(workload::WorkloadGroup::kSpec, 4.0, 60, 46);
+  const auto heavy = scaled_trace(workload::WorkloadGroup::kSpec, 1.5, 180, 46);
+  const auto light_report =
+      core::run_policy_on_trace(core::PolicyKind::kGLoadSharing, light, config);
+  const auto heavy_report =
+      core::run_policy_on_trace(core::PolicyKind::kGLoadSharing, heavy, config);
+  EXPECT_GT(heavy_report.avg_slowdown, light_report.avg_slowdown);
+}
+
+}  // namespace
+}  // namespace vrc

@@ -1,0 +1,131 @@
+#include "metrics/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/g_load_sharing.h"
+
+namespace vrc::metrics {
+namespace {
+
+using cluster::Cluster;
+using cluster::ClusterConfig;
+using workload::JobId;
+using workload::JobSpec;
+
+JobSpec make_spec(JobId id, SimTime submit, double cpu_seconds, Bytes demand,
+                  workload::NodeId home = 0) {
+  JobSpec spec;
+  spec.id = id;
+  spec.program = "test";
+  spec.submit_time = submit;
+  spec.home_node = home;
+  spec.cpu_seconds = cpu_seconds;
+  spec.memory = workload::MemoryProfile::constant(demand);
+  return spec;
+}
+
+TEST(BalanceSkewTest, UniformLoadHasZeroSkew) {
+  sim::Simulator sim;
+  core::GLoadSharing policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  for (JobId i = 1; i <= 4; ++i) {
+    cluster.submit_job(make_spec(i, 0.0, 100.0, megabytes(10), i - 1));
+  }
+  sim.run_until(1.0);
+  EXPECT_DOUBLE_EQ(balance_skew(cluster), 0.0);
+}
+
+TEST(BalanceSkewTest, ImbalanceYieldsPositiveSkew) {
+  sim::Simulator sim;
+  core::GLoadSharing policy;
+  ClusterConfig config = ClusterConfig::paper_cluster1(2);
+  Cluster cluster(sim, config, policy);
+  cluster.submit_job(make_spec(1, 0.0, 100.0, megabytes(10), 0));
+  cluster.submit_job(make_spec(2, 0.0, 100.0, megabytes(10), 0));
+  sim.run_until(0.5);
+  // Node 0 has 2 jobs, node 1 has 0 -> population stddev of {2, 0} = 1.
+  EXPECT_DOUBLE_EQ(balance_skew(cluster), 1.0);
+}
+
+TEST(BalanceSkewTest, ReservedNodesExcluded) {
+  sim::Simulator sim;
+  core::GLoadSharing policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(3), policy);
+  cluster.submit_job(make_spec(1, 0.0, 100.0, megabytes(10), 0));
+  cluster.submit_job(make_spec(2, 0.0, 100.0, megabytes(10), 1));
+  sim.run_until(0.5);
+  cluster.set_reserved(2, true);
+  // Remaining nodes both hold one job.
+  EXPECT_DOUBLE_EQ(balance_skew(cluster), 0.0);
+}
+
+TEST(CollectorTest, ReportCountsAndBreakdown) {
+  sim::Simulator sim;
+  core::GLoadSharing policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(4), policy);
+  Collector collector(cluster);
+  for (JobId i = 1; i <= 6; ++i) {
+    cluster.submit_job(make_spec(i, 0.0, 3.0, megabytes(20), i % 4));
+  }
+  sim.run_until(1000.0);
+  RunReport report = collector.report("trace-x", "policy-y");
+  EXPECT_EQ(report.trace, "trace-x");
+  EXPECT_EQ(report.policy, "policy-y");
+  EXPECT_EQ(report.jobs_submitted, 6u);
+  EXPECT_EQ(report.jobs_completed, 6u);
+  EXPECT_NEAR(report.total_cpu, 18.0, 0.3);
+  EXPECT_GT(report.makespan, 2.9);
+  EXPECT_GE(report.avg_slowdown, 1.0);
+  EXPECT_GE(report.p95_slowdown, report.median_slowdown);
+  EXPECT_GE(report.max_slowdown, report.p95_slowdown);
+}
+
+TEST(CollectorTest, SamplersStopAtFinish) {
+  sim::Simulator sim;
+  core::GLoadSharing policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(2), policy);
+  Collector collector(cluster);
+  cluster.submit_job(make_spec(1, 0.0, 5.0, megabytes(20)));
+  // run() terminates only if the collector's periodic samplers stop.
+  sim.run();
+  EXPECT_TRUE(cluster.finished());
+  RunReport report = collector.report("t", "p");
+  ASSERT_FALSE(report.idle_memory_mb.empty());
+  // ~5 s of simulated time sampled at 1 s (the final sample races the
+  // finish event, so allow one either way).
+  EXPECT_GE(report.idle_memory_mb[0].samples, 4u);
+  EXPECT_LE(report.idle_memory_mb[0].samples, 6u);
+}
+
+TEST(CollectorTest, IdleMemoryReflectsResidentJobs) {
+  sim::Simulator sim;
+  core::GLoadSharing policy;
+  ClusterConfig config = ClusterConfig::paper_cluster1(2);
+  Cluster cluster(sim, config, policy);
+  Collector collector(cluster);
+  cluster.submit_job(make_spec(1, 0.0, 30.0, megabytes(100), 0));
+  sim.run_until(20.0);
+  collector.stop();
+  RunReport report = collector.report("t", "p");
+  const double total_user = 2.0 * to_megabytes(cluster.node(0).user_memory());
+  EXPECT_NEAR(report.avg_idle_memory_mb, total_user - 100.0, 6.0);
+}
+
+TEST(CollectorTest, MultipleIntervalsProduceOneSignalEach) {
+  sim::Simulator sim;
+  core::GLoadSharing policy;
+  Cluster cluster(sim, ClusterConfig::paper_cluster1(2), policy);
+  CollectorOptions options;
+  options.sampling_intervals = {1.0, 10.0};
+  Collector collector(cluster, options);
+  cluster.submit_job(make_spec(1, 0.0, 30.0, megabytes(50)));
+  sim.run_until(30.5);
+  collector.stop();
+  RunReport report = collector.report("t", "p");
+  ASSERT_EQ(report.idle_memory_mb.size(), 2u);
+  ASSERT_EQ(report.balance_skew.size(), 2u);
+  EXPECT_GT(report.idle_memory_mb[0].samples, report.idle_memory_mb[1].samples);
+}
+
+}  // namespace
+}  // namespace vrc::metrics

@@ -1,0 +1,144 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace vrc::sim {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRangeWithoutBias) {
+  Rng rng(17);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(19);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(23);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(RngTest, LognormalMedianIsExpMu) {
+  Rng rng(29);
+  std::vector<double> samples;
+  const int n = 50001;
+  for (int i = 0; i < n; ++i) samples.push_back(rng.lognormal(3.0, 1.0));
+  std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+  EXPECT_NEAR(samples[n / 2], std::exp(3.0), std::exp(3.0) * 0.05);
+}
+
+TEST(RngTest, LognormalIsPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 4.0), 0.0);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, PoissonMeanMatchesSmallRegime) {
+  Rng rng(41);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+  EXPECT_NEAR(sum / n, 3.5, 0.1);
+}
+
+TEST(RngTest, PoissonMeanMatchesLargeRegime) {
+  Rng rng(43);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(200.0));
+  EXPECT_NEAR(sum / n, 200.0, 2.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(47);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent(53);
+  Rng child = parent.fork();
+  // Child draws must not replay the parent's stream.
+  Rng parent_copy(53);
+  parent_copy.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(59), b(59);
+  Rng fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+}  // namespace
+}  // namespace vrc::sim

@@ -1,0 +1,213 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vrc::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, EqualTimesFireInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NowAdvancesToEventTime) {
+  Simulator sim;
+  SimTime observed = -1.0;
+  sim.schedule_at(42.5, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_EQ(observed, 42.5);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime observed = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_after(5.0, [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, 15.0);
+}
+
+TEST(SimulatorTest, PastTimesClampToNow) {
+  Simulator sim;
+  SimTime observed = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_at(3.0, [&] { observed = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(observed, 10.0);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToZero) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_after(-5.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelReturnsFalseForUnknownId) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(12345));
+  EXPECT_FALSE(sim.cancel(kInvalidEventId));
+}
+
+TEST(SimulatorTest, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.schedule_at(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+}
+
+TEST(SimulatorTest, CancelAfterFiringReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.schedule_at(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, PendingEventsTracksLiveCount) {
+  Simulator sim;
+  EventId a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunReturnsExecutedCount) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.run(), 7u);
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(i, [&fired, &sim] { fired.push_back(sim.now()); });
+  }
+  sim.run_until(5.0);
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesNowEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(100.0);
+  EXPECT_EQ(sim.now(), 100.0);
+}
+
+TEST(SimulatorTest, RunUntilIncludesEventsAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(5.0, [&] { fired = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, EventsScheduledDuringExecutionRun) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1.0, recurse);
+  };
+  sim.schedule_at(0.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99.0);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] { ++count; });
+  sim.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(PeriodicTaskTest, FiresAtFixedPeriod) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, 1.0, 2.0, [&](SimTime now) { fires.push_back(now); });
+  sim.run_until(9.0);
+  task.stop();
+  EXPECT_EQ(fires, (std::vector<SimTime>{1.0, 3.0, 5.0, 7.0, 9.0}));
+}
+
+TEST(PeriodicTaskTest, StopPreventsFurtherFires) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask task(sim, 1.0, 1.0, [&](SimTime) {
+    if (++fires == 3) task.stop();
+  });
+  sim.run();  // would never drain unless stop() works
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, StopIsIdempotent) {
+  Simulator sim;
+  PeriodicTask task(sim, 1.0, 1.0, [](SimTime) {});
+  task.stop();
+  task.stop();
+  EXPECT_FALSE(task.running());
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(PeriodicTaskTest, DestructorCancelsPendingEvent) {
+  Simulator sim;
+  {
+    PeriodicTask task(sim, 1.0, 1.0, [](SimTime) {});
+    EXPECT_EQ(sim.pending_events(), 1u);
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace vrc::sim

@@ -1,0 +1,152 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vrc::sim {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);       // sample variance
+  EXPECT_NEAR(s.population_stddev(), 2.0, 1e-12);     // population stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    double v = std::sin(i) * 10.0;
+    all.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), 2.0);
+}
+
+TEST(TimeWeightedStatsTest, ConstantSignal) {
+  TimeWeightedStats s;
+  s.record(0.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.average_until(10.0), 5.0);
+}
+
+TEST(TimeWeightedStatsTest, StepSignalWeightsByDuration) {
+  TimeWeightedStats s;
+  s.record(0.0, 0.0);
+  s.record(8.0, 10.0);  // value 0 held for 8s, then 10
+  EXPECT_DOUBLE_EQ(s.average_until(10.0), (0.0 * 8.0 + 10.0 * 2.0) / 10.0);
+}
+
+TEST(TimeWeightedStatsTest, BeforeStartIsZero) {
+  TimeWeightedStats s;
+  EXPECT_EQ(s.average_until(5.0), 0.0);
+  s.record(10.0, 3.0);
+  EXPECT_EQ(s.average_until(10.0), 0.0);  // zero-length window
+}
+
+TEST(PercentilesTest, EmptyQuantileIsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.quantile(0.5), 0.0);
+}
+
+TEST(PercentilesTest, MedianOfOddCount) {
+  Percentiles p;
+  for (double v : {5.0, 1.0, 3.0}) p.add(v);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 3.0);
+}
+
+TEST(PercentilesTest, InterpolatesBetweenOrderStatistics) {
+  Percentiles p;
+  for (double v : {0.0, 10.0}) p.add(v);
+  EXPECT_DOUBLE_EQ(p.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 5.0);
+}
+
+TEST(PercentilesTest, ExtremesAreMinMax) {
+  Percentiles p;
+  for (double v : {7.0, -2.0, 4.0, 9.0}) p.add(v);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), -2.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 9.0);
+  EXPECT_DOUBLE_EQ(p.quantile(-0.5), -2.0);  // clamped
+  EXPECT_DOUBLE_EQ(p.quantile(1.5), 9.0);    // clamped
+}
+
+TEST(PercentilesTest, AddAfterQuantileStillWorks) {
+  Percentiles p;
+  p.add(1.0);
+  p.add(2.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 2.0);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 3.0);
+}
+
+TEST(HistogramTest, BinsCountCorrectly) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.9);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+}
+
+TEST(HistogramTest, BinBoundsArePartition) {
+  Histogram h(2.0, 12.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), 4.5);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 9.5);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 12.0);
+}
+
+}  // namespace
+}  // namespace vrc::sim

@@ -1,0 +1,143 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace vrc::util {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args);
+  return argv;
+}
+
+TEST(FlagSetTest, ParsesIntWithEquals) {
+  FlagSet flags;
+  int value = 0;
+  flags.add_int("count", &value, "a count");
+  auto argv = argv_of({"--count=42"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, 42);
+}
+
+TEST(FlagSetTest, ParsesIntWithSeparateValue) {
+  FlagSet flags;
+  int value = 0;
+  flags.add_int("count", &value, "a count");
+  auto argv = argv_of({"--count", "7"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, 7);
+}
+
+TEST(FlagSetTest, ParsesNegativeInt) {
+  FlagSet flags;
+  int value = 0;
+  flags.add_int("delta", &value, "");
+  auto argv = argv_of({"--delta=-5"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, -5);
+}
+
+TEST(FlagSetTest, ParsesDouble) {
+  FlagSet flags;
+  double value = 0.0;
+  flags.add_double("ratio", &value, "");
+  auto argv = argv_of({"--ratio=2.5"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(value, 2.5);
+}
+
+TEST(FlagSetTest, ParsesInt64) {
+  FlagSet flags;
+  long long value = 0;
+  flags.add_int64("big", &value, "");
+  auto argv = argv_of({"--big=9000000000"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, 9000000000LL);
+}
+
+TEST(FlagSetTest, BoolWithoutValueIsTrue) {
+  FlagSet flags;
+  bool value = false;
+  flags.add_bool("verbose", &value, "");
+  auto argv = argv_of({"--verbose"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(value);
+}
+
+TEST(FlagSetTest, BoolExplicitFalse) {
+  FlagSet flags;
+  bool value = true;
+  flags.add_bool("verbose", &value, "");
+  auto argv = argv_of({"--verbose=false"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(value);
+}
+
+TEST(FlagSetTest, ParsesString) {
+  FlagSet flags;
+  std::string value;
+  flags.add_string("name", &value, "");
+  auto argv = argv_of({"--name=hello world"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, "hello world");
+}
+
+TEST(FlagSetTest, UnknownFlagFails) {
+  FlagSet flags;
+  auto argv = argv_of({"--nope"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSetTest, BadIntFails) {
+  FlagSet flags;
+  int value = 0;
+  flags.add_int("count", &value, "");
+  auto argv = argv_of({"--count=abc"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSetTest, MissingValueFails) {
+  FlagSet flags;
+  int value = 0;
+  flags.add_int("count", &value, "");
+  auto argv = argv_of({"--count"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSetTest, HelpReturnsFalse) {
+  FlagSet flags;
+  auto argv = argv_of({"--help"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSetTest, PositionalArgsCollected) {
+  FlagSet flags;
+  int value = 0;
+  flags.add_int("n", &value, "");
+  auto argv = argv_of({"alpha", "--n=3", "beta"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(FlagSetTest, DefaultsSurviveWhenNotGiven) {
+  FlagSet flags;
+  int value = 99;
+  flags.add_int("n", &value, "");
+  auto argv = argv_of({});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, 99);
+}
+
+TEST(FlagSetTest, UsageListsFlagsAndDefaults) {
+  FlagSet flags;
+  int value = 5;
+  flags.add_int("workers", &value, "number of workers");
+  std::string usage = flags.usage("prog");
+  EXPECT_NE(usage.find("--workers"), std::string::npos);
+  EXPECT_NE(usage.find("number of workers"), std::string::npos);
+  EXPECT_NE(usage.find("5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vrc::util

@@ -1,0 +1,57 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace vrc::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, DefaultLevelSuppressesInfo) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  VRC_LOG(kInfo) << "hidden";
+  VRC_LOG(kWarn) << "visible";
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("hidden"), std::string::npos);
+  EXPECT_NE(output.find("visible"), std::string::npos);
+  EXPECT_NE(output.find("[WARN]"), std::string::npos);
+}
+
+TEST(LogTest, LevelChangeTakesEffect) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  testing::internal::CaptureStderr();
+  VRC_LOG(kDebug) << "now " << 42 << " visible";
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("now 42 visible"), std::string::npos);
+  EXPECT_NE(output.find("[DEBUG]"), std::string::npos);
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  VRC_LOG(kError) << "nope";
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LogTest, StreamsArbitraryTypes) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  VRC_LOG(kInfo) << "pi=" << 3.5 << " s=" << std::string("abc") << " b=" << true;
+  const std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("pi=3.5 s=abc b=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vrc::util

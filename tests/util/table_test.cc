@@ -1,0 +1,58 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace vrc::util {
+namespace {
+
+TEST(TableTest, AsciiAlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.to_ascii();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"1"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("1,,"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table table({"text"});
+  table.add_row({"hello, world"});
+  table.add_row({"quote\"inside"});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(TableTest, CsvHasHeaderAndRows) {
+  Table table({"x", "y"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "x,y\n1,2\n");
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TableTest, FmtRespectsPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 0), "3");
+  EXPECT_EQ(Table::fmt(-1.5, 1), "-1.5");
+}
+
+TEST(TableTest, PctFormatsFraction) {
+  EXPECT_EQ(Table::pct(0.293), "29.3%");
+  EXPECT_EQ(Table::pct(-0.05), "-5.0%");
+  EXPECT_EQ(Table::pct(0.29346, 2), "29.35%");
+}
+
+TEST(TableDeathTest, RejectsOverlongRow) {
+  Table table({"only"});
+  EXPECT_DEATH(table.add_row({"1", "2"}), "row has");
+}
+
+}  // namespace
+}  // namespace vrc::util

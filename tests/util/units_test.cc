@@ -1,0 +1,34 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace vrc {
+namespace {
+
+TEST(UnitsTest, MegabytesRoundTrip) {
+  EXPECT_EQ(megabytes(1), kMiB);
+  EXPECT_EQ(megabytes(384), 384 * kMiB);
+  EXPECT_DOUBLE_EQ(to_megabytes(megabytes(128)), 128.0);
+  EXPECT_DOUBLE_EQ(to_megabytes(megabytes(0.5)), 0.5);
+}
+
+TEST(UnitsTest, MillisecondsToSeconds) {
+  EXPECT_DOUBLE_EQ(milliseconds(10), 0.01);
+  EXPECT_DOUBLE_EQ(milliseconds(0.1), 0.0001);
+}
+
+TEST(UnitsTest, MbpsConversionMatchesPaperMigrationCost) {
+  // 10 Mbps Ethernet moves 1.25e6 bytes/s; a 100 MB image takes ~83.9 s.
+  const double bytes_per_sec = mbps_to_bytes_per_sec(10.0);
+  EXPECT_DOUBLE_EQ(bytes_per_sec, 1.25e6);
+  const double seconds = static_cast<double>(megabytes(100)) / bytes_per_sec;
+  EXPECT_NEAR(seconds, 83.9, 0.1);
+}
+
+TEST(UnitsTest, ConstantsAreConsistent) {
+  EXPECT_EQ(kMiB, 1024 * kKiB);
+  EXPECT_EQ(kGiB, 1024 * kMiB);
+}
+
+}  // namespace
+}  // namespace vrc

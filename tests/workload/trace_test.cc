@@ -1,0 +1,109 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace vrc::workload {
+namespace {
+
+JobSpec make_job(JobId id, SimTime submit, const char* program, SimTime cpu) {
+  JobSpec job;
+  job.id = id;
+  job.program = program;
+  job.submit_time = submit;
+  job.home_node = id % 4;
+  job.cpu_seconds = cpu;
+  job.touch_rate = 100.0;
+  job.memory = MemoryProfile::phased({{0.0, megabytes(4)}, {1.0, megabytes(60)}});
+  return job;
+}
+
+TEST(TraceTest, JobsSortedBySubmitTime) {
+  Trace trace("t", WorkloadGroup::kSpec, 100.0,
+              {make_job(1, 50.0, "gcc", 10), make_job(2, 10.0, "gzip", 20),
+               make_job(3, 30.0, "mcf", 30)});
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.jobs()[0].id, 2u);
+  EXPECT_EQ(trace.jobs()[1].id, 3u);
+  EXPECT_EQ(trace.jobs()[2].id, 1u);
+}
+
+TEST(TraceTest, TotalCpuSecondsSums) {
+  Trace trace("t", WorkloadGroup::kSpec, 100.0,
+              {make_job(1, 0.0, "gcc", 10), make_job(2, 1.0, "gzip", 20)});
+  EXPECT_DOUBLE_EQ(trace.total_cpu_seconds(), 30.0);
+}
+
+TEST(TraceTest, SaveLoadRoundTrip) {
+  Trace original("My-Trace-1", WorkloadGroup::kApps, 3586.0,
+                 {make_job(1, 0.5, "metis", 123.25), make_job(2, 7.125, "bit-r", 45.5)});
+  std::stringstream buffer;
+  original.save(buffer);
+  Trace loaded = Trace::load(buffer);
+
+  EXPECT_EQ(loaded.name(), "My-Trace-1");
+  EXPECT_EQ(loaded.group(), WorkloadGroup::kApps);
+  EXPECT_DOUBLE_EQ(loaded.duration(), 3586.0);
+  ASSERT_EQ(loaded.size(), 2u);
+  const JobSpec& job = loaded.jobs()[0];
+  EXPECT_EQ(job.id, 1u);
+  EXPECT_DOUBLE_EQ(job.submit_time, 0.5);
+  EXPECT_EQ(job.program, "metis");
+  EXPECT_DOUBLE_EQ(job.cpu_seconds, 123.25);
+  EXPECT_DOUBLE_EQ(job.touch_rate, 100.0);
+  EXPECT_EQ(job.memory.points().size(), 2u);
+  EXPECT_EQ(job.working_set(), megabytes(60));
+}
+
+TEST(TraceTest, LoadRejectsMissingHeader) {
+  std::stringstream buffer("name foo\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsBadGroup) {
+  std::stringstream buffer("# vrc-trace v1\ngroup martian\njobs 0\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsJobCountMismatch) {
+  std::stringstream buffer(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 2\n"
+      "job 1 0.0 0 gcc 10 100 1 0.0 1000\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsMalformedJobLine) {
+  std::stringstream buffer(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 1\njob 1 oops\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsUnknownKey) {
+  std::stringstream buffer("# vrc-trace v1\ngroup spec\njobs 0\nbanana 3\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadSkipsCommentsAndBlankLines) {
+  std::stringstream buffer(
+      "# vrc-trace v1\n\n# a comment\nname t\ngroup spec\nduration 10\njobs 0\n");
+  Trace trace = Trace::load(buffer);
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceTest, FileRoundTrip) {
+  Trace original("file-trace", WorkloadGroup::kSpec, 50.0, {make_job(9, 1.0, "apsi", 99.0)});
+  const std::string path = testing::TempDir() + "/vrc_trace_test.trace";
+  ASSERT_TRUE(original.save_to_file(path));
+  Trace loaded = Trace::load_from_file(path);
+  EXPECT_EQ(loaded.name(), "file-trace");
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.jobs()[0].program, "apsi");
+}
+
+TEST(TraceTest, LoadMissingFileThrows) {
+  EXPECT_THROW(Trace::load_from_file("/nonexistent/path.trace"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace vrc::workload
