@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bigjob_fraction.dir/ablation_bigjob_fraction.cc.o"
+  "CMakeFiles/ablation_bigjob_fraction.dir/ablation_bigjob_fraction.cc.o.d"
+  "CMakeFiles/ablation_bigjob_fraction.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_bigjob_fraction.dir/bench_common.cc.o.d"
+  "ablation_bigjob_fraction"
+  "ablation_bigjob_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bigjob_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_oracle.dir/ablation_oracle.cc.o"
+  "CMakeFiles/ablation_oracle.dir/ablation_oracle.cc.o.d"
+  "CMakeFiles/ablation_oracle.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_oracle.dir/bench_common.cc.o.d"
+  "ablation_oracle"
+  "ablation_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reservation_variant.dir/ablation_reservation_variant.cc.o"
+  "CMakeFiles/ablation_reservation_variant.dir/ablation_reservation_variant.cc.o.d"
+  "CMakeFiles/ablation_reservation_variant.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_reservation_variant.dir/bench_common.cc.o.d"
+  "ablation_reservation_variant"
+  "ablation_reservation_variant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reservation_variant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sampling_interval.cc" "bench/CMakeFiles/ablation_sampling_interval.dir/ablation_sampling_interval.cc.o" "gcc" "bench/CMakeFiles/ablation_sampling_interval.dir/ablation_sampling_interval.cc.o.d"
+  "/root/repo/bench/bench_common.cc" "bench/CMakeFiles/ablation_sampling_interval.dir/bench_common.cc.o" "gcc" "bench/CMakeFiles/ablation_sampling_interval.dir/bench_common.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vrc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vrc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vrc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vrc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vrc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vrc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_suspension.dir/ablation_suspension.cc.o"
+  "CMakeFiles/ablation_suspension.dir/ablation_suspension.cc.o.d"
+  "CMakeFiles/ablation_suspension.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_suspension.dir/bench_common.cc.o.d"
+  "ablation_suspension"
+  "ablation_suspension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_suspension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_group1_exec_queue.dir/bench_common.cc.o"
+  "CMakeFiles/fig1_group1_exec_queue.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig1_group1_exec_queue.dir/fig1_group1_exec_queue.cc.o"
+  "CMakeFiles/fig1_group1_exec_queue.dir/fig1_group1_exec_queue.cc.o.d"
+  "fig1_group1_exec_queue"
+  "fig1_group1_exec_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_group1_exec_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

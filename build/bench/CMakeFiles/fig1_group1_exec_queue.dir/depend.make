@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_group1_exec_queue.
+# This may be replaced when dependencies are built.

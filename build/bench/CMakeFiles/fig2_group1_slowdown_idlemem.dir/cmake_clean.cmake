@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_group1_slowdown_idlemem.dir/bench_common.cc.o"
+  "CMakeFiles/fig2_group1_slowdown_idlemem.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig2_group1_slowdown_idlemem.dir/fig2_group1_slowdown_idlemem.cc.o"
+  "CMakeFiles/fig2_group1_slowdown_idlemem.dir/fig2_group1_slowdown_idlemem.cc.o.d"
+  "fig2_group1_slowdown_idlemem"
+  "fig2_group1_slowdown_idlemem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_group1_slowdown_idlemem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

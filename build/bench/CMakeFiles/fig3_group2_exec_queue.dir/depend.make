@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_group2_exec_queue.
+# This may be replaced when dependencies are built.

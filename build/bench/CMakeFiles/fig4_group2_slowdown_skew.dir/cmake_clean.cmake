@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_group2_slowdown_skew.dir/bench_common.cc.o"
+  "CMakeFiles/fig4_group2_slowdown_skew.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig4_group2_slowdown_skew.dir/fig4_group2_slowdown_skew.cc.o"
+  "CMakeFiles/fig4_group2_slowdown_skew.dir/fig4_group2_slowdown_skew.cc.o.d"
+  "fig4_group2_slowdown_skew"
+  "fig4_group2_slowdown_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_group2_slowdown_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_spec_programs.dir/bench_common.cc.o"
+  "CMakeFiles/table1_spec_programs.dir/bench_common.cc.o.d"
+  "CMakeFiles/table1_spec_programs.dir/table1_spec_programs.cc.o"
+  "CMakeFiles/table1_spec_programs.dir/table1_spec_programs.cc.o.d"
+  "table1_spec_programs"
+  "table1_spec_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_spec_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

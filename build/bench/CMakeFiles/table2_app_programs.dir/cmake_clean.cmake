@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_app_programs.dir/bench_common.cc.o"
+  "CMakeFiles/table2_app_programs.dir/bench_common.cc.o.d"
+  "CMakeFiles/table2_app_programs.dir/table2_app_programs.cc.o"
+  "CMakeFiles/table2_app_programs.dir/table2_app_programs.cc.o.d"
+  "table2_app_programs"
+  "table2_app_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_app_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_demo.dir/blocking_demo.cpp.o"
+  "CMakeFiles/blocking_demo.dir/blocking_demo.cpp.o.d"
+  "blocking_demo"
+  "blocking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

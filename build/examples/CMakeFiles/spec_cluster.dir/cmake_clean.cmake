@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_cluster.dir/spec_cluster.cpp.o"
+  "CMakeFiles/spec_cluster.dir/spec_cluster.cpp.o.d"
+  "spec_cluster"
+  "spec_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrc_analysis.dir/model.cc.o"
+  "CMakeFiles/vrc_analysis.dir/model.cc.o.d"
+  "libvrc_analysis.a"
+  "libvrc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/vrc_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/vrc_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/config.cc" "src/cluster/CMakeFiles/vrc_cluster.dir/config.cc.o" "gcc" "src/cluster/CMakeFiles/vrc_cluster.dir/config.cc.o.d"
+  "/root/repo/src/cluster/load_index.cc" "src/cluster/CMakeFiles/vrc_cluster.dir/load_index.cc.o" "gcc" "src/cluster/CMakeFiles/vrc_cluster.dir/load_index.cc.o.d"
+  "/root/repo/src/cluster/network.cc" "src/cluster/CMakeFiles/vrc_cluster.dir/network.cc.o" "gcc" "src/cluster/CMakeFiles/vrc_cluster.dir/network.cc.o.d"
+  "/root/repo/src/cluster/workstation.cc" "src/cluster/CMakeFiles/vrc_cluster.dir/workstation.cc.o" "gcc" "src/cluster/CMakeFiles/vrc_cluster.dir/workstation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vrc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vrc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

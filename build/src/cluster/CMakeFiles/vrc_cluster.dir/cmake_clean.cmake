@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrc_cluster.dir/cluster.cc.o"
+  "CMakeFiles/vrc_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/vrc_cluster.dir/config.cc.o"
+  "CMakeFiles/vrc_cluster.dir/config.cc.o.d"
+  "CMakeFiles/vrc_cluster.dir/load_index.cc.o"
+  "CMakeFiles/vrc_cluster.dir/load_index.cc.o.d"
+  "CMakeFiles/vrc_cluster.dir/network.cc.o"
+  "CMakeFiles/vrc_cluster.dir/network.cc.o.d"
+  "CMakeFiles/vrc_cluster.dir/workstation.cc.o"
+  "CMakeFiles/vrc_cluster.dir/workstation.cc.o.d"
+  "libvrc_cluster.a"
+  "libvrc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

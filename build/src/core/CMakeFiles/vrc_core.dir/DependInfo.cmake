@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/vrc_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/vrc_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/vrc_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/vrc_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/g_load_sharing.cc" "src/core/CMakeFiles/vrc_core.dir/g_load_sharing.cc.o" "gcc" "src/core/CMakeFiles/vrc_core.dir/g_load_sharing.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/vrc_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/vrc_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/v_reconfiguration.cc" "src/core/CMakeFiles/vrc_core.dir/v_reconfiguration.cc.o" "gcc" "src/core/CMakeFiles/vrc_core.dir/v_reconfiguration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/vrc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vrc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vrc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vrc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrc_core.dir/baselines.cc.o"
+  "CMakeFiles/vrc_core.dir/baselines.cc.o.d"
+  "CMakeFiles/vrc_core.dir/experiment.cc.o"
+  "CMakeFiles/vrc_core.dir/experiment.cc.o.d"
+  "CMakeFiles/vrc_core.dir/g_load_sharing.cc.o"
+  "CMakeFiles/vrc_core.dir/g_load_sharing.cc.o.d"
+  "CMakeFiles/vrc_core.dir/oracle.cc.o"
+  "CMakeFiles/vrc_core.dir/oracle.cc.o.d"
+  "CMakeFiles/vrc_core.dir/v_reconfiguration.cc.o"
+  "CMakeFiles/vrc_core.dir/v_reconfiguration.cc.o.d"
+  "libvrc_core.a"
+  "libvrc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

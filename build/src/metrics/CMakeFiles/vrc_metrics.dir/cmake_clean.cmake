@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrc_metrics.dir/collector.cc.o"
+  "CMakeFiles/vrc_metrics.dir/collector.cc.o.d"
+  "CMakeFiles/vrc_metrics.dir/report.cc.o"
+  "CMakeFiles/vrc_metrics.dir/report.cc.o.d"
+  "libvrc_metrics.a"
+  "libvrc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvrc_metrics.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/vrc_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/vrc_sim.dir/rng.cc.o.d"
+  "/root/repo/src/sim/sampler.cc" "src/sim/CMakeFiles/vrc_sim.dir/sampler.cc.o" "gcc" "src/sim/CMakeFiles/vrc_sim.dir/sampler.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/vrc_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/vrc_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/sim/CMakeFiles/vrc_sim.dir/stats.cc.o" "gcc" "src/sim/CMakeFiles/vrc_sim.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrc_sim.dir/rng.cc.o"
+  "CMakeFiles/vrc_sim.dir/rng.cc.o.d"
+  "CMakeFiles/vrc_sim.dir/sampler.cc.o"
+  "CMakeFiles/vrc_sim.dir/sampler.cc.o.d"
+  "CMakeFiles/vrc_sim.dir/simulator.cc.o"
+  "CMakeFiles/vrc_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/vrc_sim.dir/stats.cc.o"
+  "CMakeFiles/vrc_sim.dir/stats.cc.o.d"
+  "libvrc_sim.a"
+  "libvrc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrc_util.dir/flags.cc.o"
+  "CMakeFiles/vrc_util.dir/flags.cc.o.d"
+  "CMakeFiles/vrc_util.dir/log.cc.o"
+  "CMakeFiles/vrc_util.dir/log.cc.o.d"
+  "CMakeFiles/vrc_util.dir/table.cc.o"
+  "CMakeFiles/vrc_util.dir/table.cc.o.d"
+  "libvrc_util.a"
+  "libvrc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

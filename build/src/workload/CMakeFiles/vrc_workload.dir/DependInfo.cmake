@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/vrc_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/vrc_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/memory_profile.cc" "src/workload/CMakeFiles/vrc_workload.dir/memory_profile.cc.o" "gcc" "src/workload/CMakeFiles/vrc_workload.dir/memory_profile.cc.o.d"
+  "/root/repo/src/workload/program.cc" "src/workload/CMakeFiles/vrc_workload.dir/program.cc.o" "gcc" "src/workload/CMakeFiles/vrc_workload.dir/program.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/vrc_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/vrc_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_generator.cc" "src/workload/CMakeFiles/vrc_workload.dir/trace_generator.cc.o" "gcc" "src/workload/CMakeFiles/vrc_workload.dir/trace_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vrc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrc_workload.dir/catalog.cc.o"
+  "CMakeFiles/vrc_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/vrc_workload.dir/memory_profile.cc.o"
+  "CMakeFiles/vrc_workload.dir/memory_profile.cc.o.d"
+  "CMakeFiles/vrc_workload.dir/program.cc.o"
+  "CMakeFiles/vrc_workload.dir/program.cc.o.d"
+  "CMakeFiles/vrc_workload.dir/trace.cc.o"
+  "CMakeFiles/vrc_workload.dir/trace.cc.o.d"
+  "CMakeFiles/vrc_workload.dir/trace_generator.cc.o"
+  "CMakeFiles/vrc_workload.dir/trace_generator.cc.o.d"
+  "libvrc_workload.a"
+  "libvrc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

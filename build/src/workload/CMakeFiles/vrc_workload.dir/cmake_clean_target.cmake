@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvrc_workload.a"
+)

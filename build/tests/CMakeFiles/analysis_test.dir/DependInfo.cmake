@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/model_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/model_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vrc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/vrc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/vrc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/vrc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/vrc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vrc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vrc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
