@@ -16,19 +16,24 @@ int main(int argc, char** argv) {
   vrc::workload::WorkloadGroup group;
   if (!vrc::workload::parse_workload_group(group_name, &group)) return 1;
 
-  const auto trace = vrc::workload::standard_trace(group, trace_index,
-                                                   static_cast<std::uint32_t>(options.nodes));
-  const auto config =
-      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
-  vrc::core::ExperimentOptions experiment;
-  experiment.collector.sampling_intervals = {1.0, 10.0, 30.0, 60.0};
+  // Both policy runs execute concurrently on the sweep runner.
+  vrc::runner::SweepGrid grid;
+  grid.traces = {vrc::workload::standard_trace(group, trace_index,
+                                               static_cast<std::uint32_t>(options.nodes))};
+  grid.configs = {
+      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes))};
+  grid.policies = {vrc::core::PolicyKind::kGLoadSharing,
+                   vrc::core::PolicyKind::kVReconfiguration};
+  grid.experiment.collector.sampling_intervals = {1.0, 10.0, 30.0, 60.0};
+
+  vrc::runner::SweepRunner sweep(options.jobs);
+  const auto cells = sweep.run(grid);
 
   using vrc::util::Table;
   Table table({"policy", "interval (s)", "avg idle memory (MB)", "avg balance skew",
                "samples"});
-  for (auto kind : {vrc::core::PolicyKind::kGLoadSharing,
-                    vrc::core::PolicyKind::kVReconfiguration}) {
-    const auto report = vrc::core::run_policy_on_trace(kind, trace, config, experiment);
+  for (const auto& cell : cells) {
+    const auto& report = cell.report;
     for (std::size_t i = 0; i < report.idle_memory_mb.size(); ++i) {
       table.add_row({report.policy, Table::fmt(report.idle_memory_mb[i].interval, 0),
                      Table::fmt(report.idle_memory_mb[i].average, 1),
@@ -36,8 +41,8 @@ int main(int argc, char** argv) {
                      std::to_string(report.idle_memory_mb[i].samples)});
     }
   }
-  std::printf("Sampling-interval insensitivity — %s, %d workstations\n", trace.name().c_str(),
-              options.nodes);
+  std::printf("Sampling-interval insensitivity — %s, %d workstations\n",
+              grid.traces[0].name().c_str(), options.nodes);
   vrc::bench::emit(table, options);
   std::printf("paper: averages at 10 s / 30 s / 1 min almost identical to the 1 s values\n");
   return 0;

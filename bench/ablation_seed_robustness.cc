@@ -3,6 +3,9 @@
 // regenerates each standard trace shape with several seeds and reports the
 // spread of V-Reconfiguration's reductions, separating the policy effect
 // from trace-sampling noise.
+//
+// All (shape x seed x policy) cells run concurrently on the sweep runner
+// (--jobs); per-seed reductions are folded into RunningStats accumulators.
 #include "bench_common.h"
 
 int main(int argc, char** argv) {
@@ -16,15 +19,16 @@ int main(int argc, char** argv) {
 
   vrc::workload::WorkloadGroup group;
   if (!vrc::workload::parse_workload_group(group_name, &group)) return 1;
-  const auto config =
-      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
 
-  using vrc::util::Table;
-  Table table({"trace shape", "exec red. mean", "exec red. min", "exec red. max",
-               "queue red. mean", "slowdown red. mean"});
+  // One grid over every (shape, seed) realization; the policy axis carries
+  // the baseline/ours pair, so cells 2i / 2i+1 belong to trace i.
+  vrc::runner::SweepGrid grid;
+  grid.configs = {
+      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes))};
+  grid.policies = {vrc::core::PolicyKind::kGLoadSharing,
+                   vrc::core::PolicyKind::kVReconfiguration};
   for (int index = options.trace_from; index <= options.trace_to; ++index) {
     const auto shape = vrc::workload::standard_trace_shape(index);
-    double exec_sum = 0, exec_min = 1e9, exec_max = -1e9, queue_sum = 0, slow_sum = 0;
     for (int seed = 0; seed < seeds; ++seed) {
       vrc::workload::TraceParams params;
       params.name = vrc::bench::standard_trace_name(group, index);
@@ -35,23 +39,35 @@ int main(int argc, char** argv) {
       params.duration = shape.duration;
       params.num_nodes = static_cast<std::uint32_t>(options.nodes);
       params.seed = 7700 + static_cast<std::uint64_t>(100 * index + seed);
-      const auto trace = vrc::workload::generate_trace(params);
-      const auto c = vrc::core::compare_policies(vrc::core::PolicyKind::kGLoadSharing,
-                                                 vrc::core::PolicyKind::kVReconfiguration,
-                                                 trace, config);
-      const double e = c.execution_reduction();
-      exec_sum += e;
-      exec_min = std::min(exec_min, e);
-      exec_max = std::max(exec_max, e);
-      queue_sum += c.queue_reduction();
-      slow_sum += c.slowdown_reduction();
+      grid.traces.push_back(vrc::workload::generate_trace(params));
     }
-    const double n = seeds;
-    table.add_row({vrc::bench::standard_trace_name(group, index), Table::pct(exec_sum / n),
-                   Table::pct(exec_min), Table::pct(exec_max), Table::pct(queue_sum / n),
-                   Table::pct(slow_sum / n)});
   }
-  std::printf("Seed robustness — %s group, %d seeds per shape\n", group_name.c_str(), seeds);
+
+  vrc::runner::SweepRunner sweep(options.jobs);
+  const auto cells = sweep.run(grid);
+
+  using vrc::util::Table;
+  Table table({"trace shape", "exec red. mean", "exec red. min", "exec red. max",
+               "queue red. mean", "slowdown red. mean"});
+  for (int index = options.trace_from; index <= options.trace_to; ++index) {
+    vrc::sim::RunningStats exec_red, queue_red, slow_red;
+    for (int seed = 0; seed < seeds; ++seed) {
+      const std::size_t trace =
+          static_cast<std::size_t>((index - options.trace_from) * seeds + seed);
+      vrc::core::Comparison c;
+      c.baseline = cells[2 * trace].report;
+      c.ours = cells[2 * trace + 1].report;
+      exec_red.add(c.execution_reduction());
+      queue_red.add(c.queue_reduction());
+      slow_red.add(c.slowdown_reduction());
+    }
+    table.add_row({vrc::bench::standard_trace_name(group, index),
+                   Table::pct(exec_red.mean()), Table::pct(exec_red.min()),
+                   Table::pct(exec_red.max()), Table::pct(queue_red.mean()),
+                   Table::pct(slow_red.mean())});
+  }
+  std::printf("Seed robustness — %s group, %d seeds per shape, %d worker threads\n",
+              group_name.c_str(), seeds, sweep.jobs());
   vrc::bench::emit(table, options);
   return 0;
 }

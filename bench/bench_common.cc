@@ -14,6 +14,8 @@ bool parse_sweep_flags(int argc, const char* const* argv, SweepOptions* options,
   set.add_int("trace-to", &options->trace_to, "last standard trace index (1..5)");
   set.add_double("sampling-interval", &options->sampling_interval,
                  "idle-memory / skew sampling interval in seconds");
+  set.add_int("jobs", &options->jobs,
+              "parallel worker threads (0 = one per hardware thread)");
   if (!set.parse(argc, argv)) return false;
   if (options->trace_from < 1 || options->trace_to > 5 ||
       options->trace_from > options->trace_to) {
@@ -25,19 +27,27 @@ bool parse_sweep_flags(int argc, const char* const* argv, SweepOptions* options,
 
 std::vector<SweepResult> run_group_sweep(workload::WorkloadGroup group,
                                          const SweepOptions& options) {
-  std::vector<SweepResult> results;
-  const cluster::ClusterConfig config =
-      core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
-  core::ExperimentOptions experiment;
-  experiment.collector.sampling_intervals = {options.sampling_interval};
+  // All (trace x policy) cells run concurrently on the sweep runner; the
+  // grid enumeration is policy-fastest, so cells 2i / 2i+1 are the baseline
+  // and V-Reconfiguration runs of trace i.
+  runner::SweepGrid grid;
+  grid.configs = {core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes))};
+  grid.policies = {core::PolicyKind::kGLoadSharing, core::PolicyKind::kVReconfiguration};
+  grid.experiment.collector.sampling_intervals = {options.sampling_interval};
   for (int index = options.trace_from; index <= options.trace_to; ++index) {
-    const workload::Trace trace =
-        workload::standard_trace(group, index, static_cast<std::uint32_t>(options.nodes));
+    grid.traces.push_back(
+        workload::standard_trace(group, index, static_cast<std::uint32_t>(options.nodes)));
+  }
+
+  runner::SweepRunner sweep(options.jobs);
+  const std::vector<runner::CellResult> cells = sweep.run(grid);
+
+  std::vector<SweepResult> results;
+  for (std::size_t t = 0; t < grid.traces.size(); ++t) {
     SweepResult result;
-    result.trace_index = index;
-    result.comparison =
-        core::compare_policies(core::PolicyKind::kGLoadSharing,
-                               core::PolicyKind::kVReconfiguration, trace, config, experiment);
+    result.trace_index = options.trace_from + static_cast<int>(t);
+    result.comparison.baseline = cells[2 * t].report;
+    result.comparison.ours = cells[2 * t + 1].report;
     results.push_back(std::move(result));
   }
   return results;

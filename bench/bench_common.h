@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "runner/sweep_runner.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "workload/trace_generator.h"
@@ -19,11 +20,12 @@ struct SweepOptions {
   int trace_from = 1;
   int trace_to = 5;
   double sampling_interval = 1.0;
+  int jobs = 0;               // worker threads; 0 = one per hardware thread
 };
 
-/// Parses the standard flags (--nodes, --csv, --trace-from, --trace-to).
-/// Additional flags can be registered on `flags` before the call. Returns
-/// false if parsing failed (the binary should exit 1).
+/// Parses the standard flags (--nodes, --csv, --trace-from, --trace-to,
+/// --jobs). Additional flags can be registered on `flags` before the call.
+/// Returns false if parsing failed (the binary should exit 1).
 bool parse_sweep_flags(int argc, const char* const* argv, SweepOptions* options,
                        util::FlagSet* flags = nullptr);
 

@@ -119,9 +119,8 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
   const double efficiency = runnable > 1 ? rr_efficiency_ : 1.0;
   const SimTime interval_start = now - dt;
 
-  if (runnable > 0) cpu_busy_ += dt;
-
   double tick_faults = 0.0;
+  double busy_wall = 0.0;  // wall time actually spent computing or paging
   for (std::size_t i = 0; i < jobs_.size();) {
     RunningJob& job = *jobs_[i];
     const SimTime from = std::max(job.accounted_until, interval_start);
@@ -172,6 +171,7 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
     }
 
     job.cpu_done += progress;
+    busy_wall += cpu_wall + page_wall;
     job.t_cpu += cpu_wall;
     job.t_page += page_wall;
     job.t_queue += queue_wall;
@@ -189,6 +189,13 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
     }
     ++i;
   }
+
+  // CPU busy time prorated by the wall time jobs actually progressed: when
+  // the only runnable job finishes mid-tick the CPU goes idle for the rest
+  // of the interval, so charging the full dt would overstate utilization.
+  // Dividing by the round-robin efficiency folds the context-switch overhead
+  // (also busy time) back in; a fully-utilized tick charges exactly dt.
+  if (runnable > 0) cpu_busy_ += std::min<SimTime>(dt, busy_wall / efficiency);
 
   total_faults_ += tick_faults;
   outcome.faults = tick_faults;

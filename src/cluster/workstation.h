@@ -93,6 +93,8 @@ class Workstation {
 
   // --- lifetime statistics ---
   double total_faults() const { return total_faults_; }
+  /// Wall time the CPU spent computing or servicing faults, prorated within
+  /// ticks where jobs finish (or arrive) mid-interval.
   SimTime cpu_busy_time() const { return cpu_busy_; }
   std::uint64_t jobs_completed() const { return jobs_completed_; }
 

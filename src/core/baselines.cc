@@ -21,6 +21,15 @@ void LocalOnly::on_periodic(Cluster& cluster) {
   }
 }
 
+void SuspensionPolicy::attach(Cluster& cluster) {
+  GLoadSharing::attach(cluster);
+  // The suspended list references jobs of the previous run's cluster; a
+  // reused policy must not try to resume them (nor report stale counters).
+  suspended_.clear();
+  suspensions_ = 0;
+  resumes_ = 0;
+}
+
 void SuspensionPolicy::on_node_pressure(Cluster& cluster, Workstation& node) {
   if (try_migrate_from(cluster, node)) return;
   ++failed_migrations_;

@@ -45,6 +45,7 @@ class SuspensionPolicy : public GLoadSharing {
 
   const char* name() const override { return "Job-Suspension"; }
 
+  void attach(Cluster& cluster) override;
   void on_node_pressure(Cluster& cluster, Workstation& node) override;
   void on_periodic(Cluster& cluster) override;
 

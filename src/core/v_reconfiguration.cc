@@ -14,6 +14,13 @@ void VReconfiguration::attach(Cluster& cluster) {
   reservations_.clear();
   last_blocking_seen_ = -1e18;
   last_drain_timeout_ = -1e18;
+  reservations_started_ = 0;
+  reservations_cancelled_ = 0;
+  reserved_migrations_ = 0;
+  declined_max_reservations_ = 0;
+  declined_low_idle_ = 0;
+  declined_no_candidate_ = 0;
+  drains_timed_out_ = 0;
 }
 
 void VReconfiguration::on_node_pressure(Cluster& cluster, Workstation& node) {

@@ -1,0 +1,79 @@
+#include "runner/sweep_runner.h"
+
+namespace vrc::runner {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t cell_key) {
+  // Two rounds so that (base, key) and (base + 1, key - 1)-style collisions
+  // cannot alias: the first round decorrelates the key, the second mixes in
+  // the base stream.
+  return splitmix64(splitmix64(base_seed) ^ splitmix64(cell_key + 0x51ed270b0f4a92c5ULL));
+}
+
+void SweepSummary::absorb(const metrics::RunReport& report) {
+  execution.add(report.total_execution);
+  queue.add(report.total_queue);
+  slowdown.add(report.avg_slowdown);
+  idle_memory_mb.add(report.avg_idle_memory_mb);
+  balance_skew.add(report.avg_balance_skew);
+  makespan.add(report.makespan);
+}
+
+void SweepSummary::merge(const SweepSummary& other) {
+  execution.merge(other.execution);
+  queue.merge(other.queue);
+  slowdown.merge(other.slowdown);
+  idle_memory_mb.merge(other.idle_memory_mb);
+  balance_skew.merge(other.balance_skew);
+  makespan.merge(other.makespan);
+}
+
+SweepRunner::SweepRunner(int jobs) : pool_(jobs) {}
+
+int SweepRunner::jobs() const { return pool_.jobs(); }
+
+std::vector<CellResult> SweepRunner::run(const SweepGrid& grid) {
+  const std::size_t n = grid.traces.size() * grid.configs.size() * grid.policies.size();
+  std::vector<CellResult> results(n);
+  pool_.parallel_for(n, [&grid, &results](std::size_t index) {
+    CellResult& cell = results[index];  // each worker touches only its slot
+    cell.cell_index = index;
+    cell.policy_index = index % grid.policies.size();
+    const std::size_t pair = index / grid.policies.size();
+    cell.config_index = pair % grid.configs.size();
+    cell.trace_index = pair / grid.configs.size();
+
+    // Per-cell config copy with a deterministically derived seed. The key
+    // is the (trace, config) pair so every policy of a pair sees identical
+    // stochastic conditions (matched-pairs comparisons).
+    cluster::ClusterConfig config = grid.configs[cell.config_index];
+    config.seed = derive_seed(grid.base_seed, pair);
+    cell.seed = config.seed;
+
+    cell.report = core::run_policy_on_trace(grid.policies[cell.policy_index],
+                                            grid.traces[cell.trace_index], config,
+                                            grid.experiment);
+  });
+  return results;
+}
+
+std::vector<metrics::RunReport> SweepRunner::run_indexed(
+    std::size_t n, const std::function<metrics::RunReport(std::size_t)>& cell) {
+  std::vector<metrics::RunReport> reports(n);
+  pool_.parallel_for(n, [&cell, &reports](std::size_t index) { reports[index] = cell(index); });
+  return reports;
+}
+
+SweepSummary SweepRunner::summarize(const std::vector<CellResult>& cells) {
+  SweepSummary summary;
+  for (const CellResult& cell : cells) summary.absorb(cell.report);
+  return summary;
+}
+
+}  // namespace vrc::runner

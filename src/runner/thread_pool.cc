@@ -1,0 +1,81 @@
+#include "runner/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace vrc::runner {
+
+int ThreadPool::hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int jobs) {
+  if (jobs <= 0) jobs = hardware_jobs();
+  workers_.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // One claiming task per worker; each drains indexes from a shared cursor.
+  // Cheaper than n queue entries and keeps all workers busy until the last
+  // index is claimed regardless of per-cell runtime skew.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t claimants = std::min(n, workers_.size());
+  for (std::size_t w = 0; w < claimants; ++w) {
+    submit([cursor, n, &body] {
+      for (std::size_t i = cursor->fetch_add(1); i < n; i = cursor->fetch_add(1)) {
+        body(i);
+      }
+    });
+  }
+  wait_idle();
+}
+
+}  // namespace vrc::runner

@@ -1,0 +1,59 @@
+// Fixed-size thread pool for fanning independent simulation cells across
+// cores. The simulation stack (Simulator / Cluster / policy) is
+// share-nothing per run, so workers need no locking beyond the task queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vrc::runner {
+
+/// A fixed set of worker threads draining a FIFO task queue.
+///
+/// Tasks must not throw (simulation cells report failures through their
+/// results); an escaping exception terminates the process, which is the
+/// right behaviour for a bench driver.
+class ThreadPool {
+ public:
+  /// Spawns `jobs` workers; jobs <= 0 means hardware_concurrency().
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int jobs() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Runs body(0) .. body(n-1) across the pool and blocks until all are
+  /// done. Tasks are claimed from an atomic cursor, so scheduling order is
+  /// nondeterministic — bodies must be independent and write only to their
+  /// own slot of any shared output.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency() may
+  /// report 0 on exotic platforms).
+  static int hardware_jobs();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // wait_idle waits for drain
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // tasks dequeued but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace vrc::runner

@@ -49,10 +49,14 @@ void TimeWeightedStats::record(double time, double value) {
   if (!started_) {
     started_ = true;
     start_time_ = time;
+    last_time_ = time;
   } else if (time > last_time_) {
     weighted_sum_ += last_value_ * (time - last_time_);
+    last_time_ = time;
   }
-  last_time_ = time;
+  // An out-of-order sample must not roll last_time_ backwards: doing so
+  // would double-count [time, last_time_] on the next in-order record. The
+  // late value is clamped to take effect at last_time_ instead.
   last_value_ = value;
 }
 
@@ -80,12 +84,21 @@ double Percentiles::quantile(double q) const {
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins) {}
 
 void Histogram::add(double value) {
+  ++total_;
+  if (value < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
   const double span = hi_ - lo_;
   double pos = (value - lo_) / span * static_cast<double>(counts_.size());
   long bin = static_cast<long>(pos);
+  // Rounding at the upper edge can still land one past the end.
   bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(bin)];
-  ++total_;
 }
 
 double Histogram::bin_low(std::size_t bin) const {

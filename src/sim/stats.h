@@ -73,8 +73,9 @@ class Percentiles {
   mutable bool sorted_ = false;
 };
 
-/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
-/// bins. Used by workload characterization benches.
+/// Fixed-bin histogram over [lo, hi); out-of-range samples are counted in
+/// explicit underflow/overflow tallies rather than silently polluting the
+/// edge bins. Used by workload characterization benches.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -84,13 +85,21 @@ class Histogram {
   std::size_t bins() const { return counts_.size(); }
   double bin_low(std::size_t bin) const;
   double bin_high(std::size_t bin) const;
+  /// All samples ever added, including out-of-range ones.
   std::size_t total() const { return total_; }
+  /// Samples below lo / at or above hi; excluded from every bin count.
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  /// Samples that landed in a bin (total minus under/overflow).
+  std::size_t in_range() const { return total_ - underflow_ - overflow_; }
 
  private:
   double lo_;
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace vrc::sim

@@ -117,5 +117,27 @@ TEST(ExperimentTest, PolicyStatsLandInReport) {
   EXPECT_FALSE(report.policy_stats.empty());
 }
 
+// Regression: attach() must reset every statistic, so a policy object
+// reused across experiments (safe reuse under the sweep runner) reports
+// per-run counters instead of carrying totals over.
+TEST(ExperimentTest, ReusedPolicyObjectDoesNotCarryStatsOver) {
+  const auto trace = tiny_trace(40, workload::WorkloadGroup::kSpec);
+  const auto config = paper_cluster_for(workload::WorkloadGroup::kSpec, 2);
+  for (PolicyKind kind : {PolicyKind::kGLoadSharing, PolicyKind::kVReconfiguration,
+                          PolicyKind::kSuspension}) {
+    auto policy = make_policy(kind);
+    const auto first = run_experiment(trace, config, *policy);
+    const auto second = run_experiment(trace, config, *policy);
+    ASSERT_EQ(first.policy_stats.size(), second.policy_stats.size());
+    for (std::size_t i = 0; i < first.policy_stats.size(); ++i) {
+      EXPECT_EQ(first.policy_stats[i].first, second.policy_stats[i].first);
+      EXPECT_DOUBLE_EQ(first.policy_stats[i].second, second.policy_stats[i].second)
+          << to_string(kind) << " stat " << first.policy_stats[i].first
+          << " accumulated across runs";
+    }
+    EXPECT_EQ(first.total_execution, second.total_execution) << to_string(kind);
+  }
+}
+
 }  // namespace
 }  // namespace vrc::core

@@ -1,9 +1,11 @@
 // Configuration-space property tests: the simulator's invariants must hold
 // under heterogeneous hardware, network contention, stochastic faults, and
-// different tick sizes — not just the paper's default setup.
+// different tick sizes — not just the paper's default setup. The
+// multi-config sweeps fan out across the parallel sweep runner.
 #include <gtest/gtest.h>
 
 #include "core/experiment.h"
+#include "runner/sweep_runner.h"
 #include "workload/trace_generator.h"
 
 namespace vrc {
@@ -34,7 +36,6 @@ TEST(HeterogeneousClusterTest, SlowNodesStretchWallClock) {
 }
 
 TEST(HeterogeneousClusterTest, MixedMemoryNodesStillCompleteEverything) {
-  const auto trace = small_trace(102);
   cluster::ClusterConfig config;
   config.reference_mhz = 400.0;
   for (int i = 0; i < 4; ++i) {
@@ -43,9 +44,14 @@ TEST(HeterogeneousClusterTest, MixedMemoryNodesStillCompleteEverything) {
   for (int i = 0; i < 4; ++i) {
     config.nodes.push_back({300.0, megabytes(256), megabytes(256), megabytes(16)});
   }
-  for (auto kind : {core::PolicyKind::kGLoadSharing, core::PolicyKind::kVReconfiguration}) {
-    const auto report = core::run_policy_on_trace(kind, trace, config);
-    EXPECT_EQ(report.jobs_completed, report.jobs_submitted) << core::to_string(kind);
+  runner::SweepGrid grid;
+  grid.traces = {small_trace(102)};
+  grid.configs = {config};
+  grid.policies = {core::PolicyKind::kGLoadSharing, core::PolicyKind::kVReconfiguration};
+  runner::SweepRunner sweep(2);
+  for (const auto& cell : sweep.run(grid)) {
+    const auto& report = cell.report;
+    EXPECT_EQ(report.jobs_completed, report.jobs_submitted) << report.policy;
     for (const auto& job : report.jobs) {
       EXPECT_NEAR(job.t_cpu + job.t_page + job.t_queue + job.t_mig, job.wall_clock(), 0.05);
     }
@@ -110,7 +116,12 @@ INSTANTIATE_TEST_SUITE_P(Granularity, TickSizeSweep,
                          });
 
 TEST(ClusterSizeSweepTest, PoliciesScaleFromFourToSixtyFourNodes) {
-  for (std::size_t nodes : {4u, 16u, 64u}) {
+  // Each size needs its own (trace, config) pair, so this is not a plain
+  // cross product: run_indexed fans the cells out instead.
+  const std::vector<std::size_t> sizes = {4, 16, 64};
+  runner::SweepRunner sweep(static_cast<int>(sizes.size()));
+  const auto reports = sweep.run_indexed(sizes.size(), [&sizes](std::size_t i) {
+    const std::size_t nodes = sizes[i];
     workload::TraceParams params;
     params.name = "scale";
     params.group = workload::WorkloadGroup::kSpec;
@@ -120,9 +131,10 @@ TEST(ClusterSizeSweepTest, PoliciesScaleFromFourToSixtyFourNodes) {
     params.seed = 200 + nodes;
     const auto trace = workload::generate_trace(params);
     const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, nodes);
-    const auto report =
-        core::run_policy_on_trace(core::PolicyKind::kVReconfiguration, trace, config);
-    EXPECT_EQ(report.jobs_completed, report.jobs_submitted) << nodes << " nodes";
+    return core::run_policy_on_trace(core::PolicyKind::kVReconfiguration, trace, config);
+  });
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(reports[i].jobs_completed, reports[i].jobs_submitted) << sizes[i] << " nodes";
   }
 }
 
