@@ -40,6 +40,57 @@ void BM_EventCancel(benchmark::State& state) {
 }
 BENCHMARK(BM_EventCancel);
 
+// Cancel-heavy steady state, shaped like the load-information exchange:
+// a standing pool of far-future timers where each round retracts half of
+// them and re-arms replacements. Exercises the slab free-list under churn
+// and the heap's tombstone compaction.
+void BM_EventCancelHeavy(benchmark::State& state) {
+  vrc::sim::Simulator sim;
+  constexpr int kPool = 512;
+  std::vector<vrc::sim::EventId> pool;
+  pool.reserve(kPool);
+  for (int i = 0; i < kPool; ++i) {
+    pool.push_back(sim.schedule_after(1e6 + i, [] {}));
+  }
+  std::size_t victim = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kPool / 2; ++i) {
+      victim = (victim * 2654435761u + 1) % kPool;  // deterministic scatter
+      if (sim.cancel(pool[victim])) {
+        pool[victim] = sim.schedule_after(1e6 + static_cast<double>(i), [] {});
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (kPool / 2));
+}
+BENCHMARK(BM_EventCancelHeavy);
+
+// Mixed schedule/cancel/execute at the ratios a policy run produces: most
+// events fire, a minority are retracted before their timestamp arrives.
+void BM_EventMixedScheduleCancel(benchmark::State& state) {
+  vrc::sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::uint64_t rng_state = 0x2545f4914f6cdd1dull;
+  std::vector<vrc::sim::EventId> cancellable;
+  cancellable.reserve(256);
+  for (auto _ : state) {
+    cancellable.clear();
+    for (int i = 0; i < 1000; ++i) {
+      rng_state ^= rng_state << 13;
+      rng_state ^= rng_state >> 7;
+      rng_state ^= rng_state << 17;
+      const double when = static_cast<double>(rng_state % 97);
+      const vrc::sim::EventId id = sim.schedule_after(when, [&fired] { ++fired; });
+      if (rng_state % 5 == 0) cancellable.push_back(id);  // ~20% retracted
+    }
+    for (vrc::sim::EventId id : cancellable) sim.cancel(id);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventMixedScheduleCancel);
+
 void BM_RngLognormal(benchmark::State& state) {
   vrc::sim::Rng rng(1);
   double sum = 0.0;
@@ -74,6 +125,33 @@ void BM_WorkstationTick(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_WorkstationTick)->Arg(1)->Arg(4)->Arg(8);
+
+// Load snapshot cost with N resident jobs: the exchange task publishes one
+// per node per period, so this tracks the O(1) aggregate maintenance win
+// over rescanning the job list.
+void BM_WorkstationSnapshot(benchmark::State& state) {
+  using namespace vrc;
+  const auto config = cluster::ClusterConfig::paper_cluster1(1);
+  cluster::Workstation node(0, config.nodes[0], config);
+  std::vector<workload::JobSpec> specs(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].id = static_cast<workload::JobId>(i + 1);
+    specs[i].cpu_seconds = 1e9;
+    specs[i].memory = workload::MemoryProfile::constant(megabytes(30));
+    auto job = std::make_unique<cluster::RunningJob>();
+    job->spec = &specs[i];
+    job->phase = cluster::JobPhase::kRunning;
+    job->demand = specs[i].memory.demand_at(0.0);
+    node.add_job(std::move(job));
+  }
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1.0;
+    auto info = node.snapshot(now);
+    benchmark::DoNotOptimize(info.idle_memory);
+  }
+}
+BENCHMARK(BM_WorkstationSnapshot)->Arg(4)->Arg(16);
 
 void BM_TraceGeneration(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a fresh benchmark run against the committed baseline.
+
+Both JSON files are google-benchmark output produced by scripts/run_benches.sh
+(3 repetitions). For each benchmark the min real_time across repetitions is
+compared; the check fails only when the current min exceeds the baseline min
+by more than the allowed factor (default 3x). The wide factor absorbs noisy
+shared CI runners while still catching order-of-magnitude regressions like an
+accidental O(n) scan reintroduced on the event hot path.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--factor 3.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def min_times(path):
+    """Map benchmark name -> (min real_time across repetitions, time unit)."""
+    with open(path) as fh:
+        data = json.load(fh)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev); keep per-repetition runs.
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("run_name", bench["name"])
+        real = float(bench["real_time"])
+        unit = bench.get("time_unit", "ns")
+        if name not in times or real < times[name][0]:
+            times[name] = (real, unit)
+    return times
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--factor", type=float, default=3.0,
+                        help="fail when current_min > factor * baseline_min")
+    args = parser.parse_args()
+
+    baseline = min_times(args.baseline)
+    current = min_times(args.current)
+
+    failures = []
+    for name, (base, unit) in sorted(baseline.items()):
+        entry = current.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        cur = entry[0]
+        ratio = cur / base if base > 0 else float("inf")
+        status = "FAIL" if ratio > args.factor else "ok"
+        print(f"{status:4} {name}: baseline {base:.1f} {unit}, "
+              f"current {cur:.1f} {unit} ({ratio:.2f}x)")
+        if ratio > args.factor:
+            failures.append(f"{name}: {ratio:.2f}x slower than baseline "
+                            f"(limit {args.factor:.1f}x)")
+
+    if failures:
+        print("\nPerf regression gate failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nAll {len(baseline)} benchmarks within {args.factor:.1f}x of baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the engine micro-benchmarks in Release and writes google-benchmark
+# JSON with 3 repetitions per benchmark. The committed perf baseline
+# (BENCH_sim_engine.json) is produced with exactly this script, so CI's
+# regression gate compares like with like (min of 3 reps on both sides).
+#
+# Usage: scripts/run_benches.sh [output.json] [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+out_json="${1:-${repo_root}/BENCH_sim_engine.json}"
+build_dir="${2:-${repo_root}/build-bench}"
+
+cmake -S "${repo_root}" -B "${build_dir}" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${build_dir}" --target micro_sim_engine -j >/dev/null
+
+"${build_dir}/bench/micro_sim_engine" \
+  --benchmark_repetitions=3 \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${out_json}" \
+  --benchmark_out_format=json \
+  --benchmark_counters_tabular=true
+
+echo "wrote ${out_json}"

@@ -133,7 +133,7 @@ bool Cluster::start_migration(NodeId src, JobId job_id, NodeId dst_id) {
   const SimTime now = sim_.now();
   job->t_queue += now - job->accounted_until;
   job->accounted_until = now;
-  job->phase = JobPhase::kMigrating;
+  source.set_job_phase(*job, JobPhase::kMigrating);
 
   const Bytes image = job->demand;
   Workstation& dst = node(dst_id);
@@ -163,23 +163,25 @@ bool Cluster::start_migration(NodeId src, JobId job_id, NodeId dst_id) {
 }
 
 bool Cluster::suspend_job(NodeId node_id, JobId job_id) {
-  RunningJob* job = node(node_id).find_job(job_id);
+  Workstation& host = node(node_id);
+  RunningJob* job = host.find_job(job_id);
   if (job == nullptr || job->phase != JobPhase::kRunning) return false;
   const SimTime now = sim_.now();
   job->t_queue += now - job->accounted_until;
   job->accounted_until = now;
-  job->phase = JobPhase::kSuspended;
+  host.set_job_phase(*job, JobPhase::kSuspended);
   ++job->suspensions;
   return true;
 }
 
 bool Cluster::resume_job(NodeId node_id, JobId job_id) {
-  RunningJob* job = node(node_id).find_job(job_id);
+  Workstation& host = node(node_id);
+  RunningJob* job = host.find_job(job_id);
   if (job == nullptr || job->phase != JobPhase::kSuspended) return false;
   const SimTime now = sim_.now();
   job->t_queue += now - job->accounted_until;
   job->accounted_until = now;
-  job->phase = JobPhase::kRunning;
+  host.set_job_phase(*job, JobPhase::kRunning);
   return true;
 }
 

@@ -1,7 +1,10 @@
 #include "cluster/workstation.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+
+#include "util/log.h"
 
 namespace vrc::cluster {
 
@@ -9,14 +12,6 @@ Workstation::Workstation(NodeId id, const NodeConfig& hardware, const ClusterCon
     : id_(id), hardware_(hardware), config_(&config) {
   speed_factor_ = hardware_.cpu_mhz / config.reference_mhz;
   rr_efficiency_ = config.quantum / (config.quantum + config.context_switch);
-}
-
-Bytes Workstation::resident_demand() const {
-  Bytes total = 0;
-  for (const auto& job : jobs_) {
-    if (job->phase != JobPhase::kSuspended) total += job->demand;
-  }
-  return total;
 }
 
 Bytes Workstation::idle_memory() const {
@@ -27,14 +22,6 @@ double Workstation::overcommit() const {
   const Bytes resident = resident_demand();
   if (resident <= user_memory() || resident == 0) return 0.0;
   return static_cast<double>(resident - user_memory()) / static_cast<double>(resident);
-}
-
-int Workstation::active_jobs() const {
-  int count = 0;
-  for (const auto& job : jobs_) {
-    if (job->phase != JobPhase::kSuspended) ++count;
-  }
-  return count;
 }
 
 bool Workstation::memory_pressured() const {
@@ -55,6 +42,11 @@ bool Workstation::accepts_new_job(Bytes demand_hint) const {
 RunningJob& Workstation::add_job(std::unique_ptr<RunningJob> job) {
   job->node = id_;
   job->demand = job->demand_now();
+  if (job->phase != JobPhase::kSuspended) {
+    resident_bytes_ += job->demand;
+    ++active_count_;
+  }
+  if (job->phase == JobPhase::kRunning) ++runnable_count_;
   jobs_.push_back(std::move(job));
   return *jobs_.back();
 }
@@ -64,21 +56,34 @@ std::unique_ptr<RunningJob> Workstation::remove_job(JobId id) {
     if ((*it)->id() == id) {
       std::unique_ptr<RunningJob> job = std::move(*it);
       jobs_.erase(it);
+      if (job->phase != JobPhase::kSuspended) {
+        resident_bytes_ -= job->demand;
+        --active_count_;
+      }
+      if (job->phase == JobPhase::kRunning) --runnable_count_;
       return job;
     }
   }
   return nullptr;
 }
 
-RunningJob* Workstation::find_job(JobId id) {
-  for (auto& job : jobs_) {
-    if (job->id() == id) return job.get();
-  }
-  return nullptr;
-}
+RunningJob* Workstation::find_job(JobId id) { return find_job_impl(*this, id); }
 
-const RunningJob* Workstation::find_job(JobId id) const {
-  return const_cast<Workstation*>(this)->find_job(id);
+const RunningJob* Workstation::find_job(JobId id) const { return find_job_impl(*this, id); }
+
+void Workstation::set_job_phase(RunningJob& job, JobPhase phase) {
+  if (job.phase == phase) return;
+  if (job.phase != JobPhase::kSuspended) {
+    resident_bytes_ -= job.demand;
+    --active_count_;
+  }
+  if (job.phase == JobPhase::kRunning) --runnable_count_;
+  job.phase = phase;
+  if (phase != JobPhase::kSuspended) {
+    resident_bytes_ += job.demand;
+    ++active_count_;
+  }
+  if (phase == JobPhase::kRunning) ++runnable_count_;
 }
 
 RunningJob* Workstation::most_memory_intensive_job() {
@@ -96,31 +101,32 @@ void Workstation::add_incoming(JobId id, Bytes demand) {
   incoming_bytes_ += demand;
 }
 
-void Workstation::remove_incoming(JobId id) {
+bool Workstation::remove_incoming(JobId id) {
   for (auto it = incoming_.begin(); it != incoming_.end(); ++it) {
     if (it->first == id) {
       --incoming_count_;
       incoming_bytes_ -= it->second;
       incoming_.erase(it);
-      return;
+      return true;
     }
   }
+  VRC_LOG(kDebug) << "node " << id_ << ": remove_incoming(" << id
+                  << ") found no reservation";
+  return false;
 }
 
 Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rng) {
   TickOutcome outcome;
 
-  // Snapshot the sharing state at the start of the interval.
-  int runnable = 0;
-  for (const auto& job : jobs_) {
-    if (job->phase == JobPhase::kRunning) ++runnable;
-  }
+  // Sharing state at the start of the interval, from the O(1) aggregates.
+  const int runnable = runnable_count_;
   const double overcommit_now = overcommit();
   const double efficiency = runnable > 1 ? rr_efficiency_ : 1.0;
   const SimTime interval_start = now - dt;
 
   double tick_faults = 0.0;
-  double busy_wall = 0.0;  // wall time actually spent computing or paging
+  double busy_wall = 0.0;      // wall time actually spent computing or paging
+  Bytes resident_delta = 0;    // demand growth/shrink of running jobs this tick
   for (std::size_t i = 0; i < jobs_.size();) {
     RunningJob& job = *jobs_[i];
     const SimTime from = std::max(job.accounted_until, interval_start);
@@ -177,18 +183,27 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
     job.t_queue += queue_wall;
     job.faults += faults;
     job.accounted_until = now;
-    job.demand = job.demand_now();
+    const Bytes new_demand = job.demand_now();
+    resident_delta += new_demand - job.demand;
+    job.demand = new_demand;
     tick_faults += faults;
 
     if (job.finished()) {
       std::unique_ptr<RunningJob> done = std::move(jobs_[i]);
       jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+      resident_delta -= done->demand;
+      --active_count_;
+      --runnable_count_;
       outcome.completed.push_back(std::move(done));
       ++jobs_completed_;
       continue;  // do not advance i; element replaced by the next one
     }
     ++i;
   }
+  // Fold the per-job demand refresh into the aggregate once, outside the
+  // loop: a member read-modify-write per job would chain the iterations.
+  resident_bytes_ += resident_delta;
+  assert(aggregates_consistent());
 
   // CPU busy time prorated by the wall time jobs actually progressed: when
   // the only runnable job finishes mid-tick the CPU goes idle for the rest
@@ -205,6 +220,20 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
   fault_rate_ = fault_rate_ * decay + (1.0 - decay) * (tick_faults / dt);
 
   return outcome;
+}
+
+bool Workstation::aggregates_consistent() const {
+  Bytes resident = 0;
+  int active = 0;
+  int runnable = 0;
+  for (const auto& job : jobs_) {
+    if (job->phase != JobPhase::kSuspended) {
+      resident += job->demand;
+      ++active;
+    }
+    if (job->phase == JobPhase::kRunning) ++runnable;
+  }
+  return resident == resident_bytes_ && active == active_count_ && runnable == runnable_count_;
 }
 
 LoadInfo Workstation::snapshot(SimTime now) const {

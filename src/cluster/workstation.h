@@ -32,19 +32,23 @@ class Workstation {
   /// Execution speed relative to the workload's reference CPU.
   double speed_factor() const { return speed_factor_; }
 
-  // --- memory state ---
+  // --- memory state (O(1): maintained incrementally, see set_job_phase) ---
   /// Demand of resident jobs (running + migrating-out images; suspended jobs
   /// are swapped out and do not count).
-  Bytes resident_demand() const;
+  Bytes resident_demand() const { return resident_bytes_; }
   /// Resident demand plus reservations for in-flight placements.
-  Bytes committed_demand() const { return resident_demand() + incoming_bytes_; }
+  Bytes committed_demand() const { return resident_bytes_ + incoming_bytes_; }
   Bytes idle_memory() const;
   /// Overcommit fraction O = max(0, (resident - user) / resident).
   double overcommit() const;
 
-  // --- occupancy ---
+  // --- occupancy (O(1) aggregates) ---
   /// Jobs holding a CPU slot (running + migrating; suspended jobs are out).
-  int active_jobs() const;
+  int active_jobs() const { return active_count_; }
+  /// Jobs competing for the CPU right now (phase kRunning).
+  int runnable_jobs() const { return runnable_count_; }
+  /// Jobs whose image is being transferred off this node.
+  int migrating_jobs() const { return active_count_ - runnable_count_; }
   /// Active jobs plus in-flight placements headed here.
   int slots_used() const { return active_jobs() + incoming_count_; }
   bool has_free_slot() const { return slots_used() < config_->cpu_threshold; }
@@ -70,13 +74,21 @@ class Workstation {
   const RunningJob* find_job(JobId id) const;
   const std::vector<std::unique_ptr<RunningJob>>& jobs() const { return jobs_; }
 
+  /// Transitions a resident job to `phase`, keeping the node's incremental
+  /// aggregates (resident demand, active/runnable counts) in sync. All phase
+  /// changes of jobs owned by a workstation MUST go through this; writing
+  /// job.phase directly desynchronizes the aggregates.
+  void set_job_phase(RunningJob& job, JobPhase phase);
+
   /// The running job with the largest current memory demand
   /// (find_most_memory_intensive_job() of the paper's framework), or nullptr.
   RunningJob* most_memory_intensive_job();
 
   // --- in-flight placement reservations ---
   void add_incoming(JobId id, Bytes demand);
-  void remove_incoming(JobId id);
+  /// Releases the reservation for `id`. Returns false (and logs at debug
+  /// level) when no such reservation exists — a policy-layer bookkeeping bug.
+  bool remove_incoming(JobId id);
   int incoming_count() const { return incoming_count_; }
   Bytes incoming_bytes() const { return incoming_bytes_; }
 
@@ -99,6 +111,19 @@ class Workstation {
   std::uint64_t jobs_completed() const { return jobs_completed_; }
 
  private:
+  /// Shared lookup for the const and non-const find_job overloads.
+  template <typename Self>
+  static RunningJob* find_job_impl(Self& self, JobId id) {
+    for (const auto& job : self.jobs_) {
+      if (job->id() == id) return job.get();
+    }
+    return nullptr;
+  }
+
+  /// Recomputes the incremental aggregates by scanning; used only by debug
+  /// assertions to catch drift.
+  bool aggregates_consistent() const;
+
   NodeId id_;
   NodeConfig hardware_;
   const ClusterConfig* config_;
@@ -106,6 +131,12 @@ class Workstation {
   double rr_efficiency_;  // q / (q + c)
 
   std::vector<std::unique_ptr<RunningJob>> jobs_;
+  // Incrementally maintained aggregates over jobs_ (updated by add_job,
+  // remove_job, set_job_phase, and the per-tick demand refresh), so the
+  // admission/snapshot hot path never rescans the job list.
+  Bytes resident_bytes_ = 0;  // sum of demand over non-suspended jobs
+  int active_count_ = 0;      // non-suspended jobs
+  int runnable_count_ = 0;    // jobs in phase kRunning
   int incoming_count_ = 0;
   Bytes incoming_bytes_ = 0;
   std::vector<std::pair<JobId, Bytes>> incoming_;

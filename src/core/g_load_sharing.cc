@@ -96,9 +96,7 @@ bool GLoadSharing::try_migrate_from(Cluster& cluster, Workstation& node) {
   // When no workstation can hold it (the big-job case), the migration fails
   // and the node stays blocked: this is precisely the gap the virtual
   // reconfiguration exists to fill.
-  for (const auto& job : node.jobs()) {
-    if (job->phase == cluster::JobPhase::kMigrating) return false;  // transfer in flight
-  }
+  if (node.migrating_jobs() > 0) return false;  // transfer already in flight
   RunningJob* victim = node.most_memory_intensive_job();
   if (victim == nullptr) return false;
   auto target = find_migration_target(cluster, *victim, node.id());

@@ -1,0 +1,168 @@
+// Move-only callable with small-buffer optimization for simulator events.
+//
+// The DES hot path schedules millions of short-lived capturing lambdas
+// (periodic-task re-arms, network completions, job arrivals). std::function
+// heap-allocates once a capture outgrows its ~16-byte inline buffer; this
+// type keeps callables up to kInlineCapacity (48) bytes inline in the event
+// slab, so the common event kinds never touch the allocator. Larger or
+// throwing-move callables transparently fall back to a heap box.
+//
+// Two hot-path shortcuts beyond a generic SBO function:
+//  * trivially copyable callables (most capturing lambdas: pointers, ids,
+//    doubles) relocate with an inline memcpy instead of an indirect call;
+//  * fire() invokes and destroys through one fused indirect call, since an
+//    event callback is always consumed exactly once.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vrc::sim {
+
+class EventCallback {
+ public:
+  /// Inline storage size. 48 bytes covers every callback the engine
+  /// schedules today (largest: a lambda capturing a std::function plus ids,
+  /// ~40 bytes on libstdc++) with headroom, while keeping the simulator's
+  /// event slot at exactly one 64-byte cache line.
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  /// Inline storage alignment. 8 (not alignof(max_align_t)) keeps
+  /// sizeof(EventCallback) at 56; the rare callable with stricter alignment
+  /// (vector registers, long double) takes the heap-box path.
+  static constexpr std::size_t kInlineAlignment = alignof(void*);
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, EventCallback> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventCallback(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    emplace(std::forward<F>(fn));
+  }
+
+  EventCallback(EventCallback&& other) noexcept { steal(other); }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  /// Replaces the stored callable (destroying any previous one) by
+  /// constructing the new one directly in place — no intermediate moves.
+  template <typename F>
+  void emplace(F&& fn) {
+    reset();
+    using Fn = std::decay_t<F>;
+    if constexpr (stored_inline<F>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      static constexpr Ops ops = {
+          [](void* storage) {
+            Fn* fn_ptr = std::launder(reinterpret_cast<Fn*>(storage));
+            (*fn_ptr)();
+            fn_ptr->~Fn();
+          },
+          [](void* from, void* to) {
+            Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+            ::new (to) Fn(std::move(*src));
+            src->~Fn();
+          },
+          [](void* storage) { std::launder(reinterpret_cast<Fn*>(storage))->~Fn(); },
+          std::is_trivially_copyable_v<Fn>};
+      ops_ = &ops;
+    } else {
+      using FnPtr = Fn*;
+      ::new (static_cast<void*>(storage_)) FnPtr(new Fn(std::forward<F>(fn)));
+      static constexpr Ops ops = {
+          [](void* storage) {
+            FnPtr* box = std::launder(reinterpret_cast<FnPtr*>(storage));
+            Fn* fn_ptr = *box;
+            (*fn_ptr)();
+            delete fn_ptr;
+            box->~FnPtr();
+          },
+          [](void* from, void* to) {
+            FnPtr* src = std::launder(reinterpret_cast<FnPtr*>(from));
+            ::new (to) FnPtr(*src);
+            src->~FnPtr();
+          },
+          [](void* storage) {
+            FnPtr* box = std::launder(reinterpret_cast<FnPtr*>(storage));
+            delete *box;
+            box->~FnPtr();
+          },
+          true};  // a raw pointer relocates by memcpy
+      ops_ = &ops;
+    }
+  }
+
+  /// Invokes the stored callable and destroys it, leaving this empty — one
+  /// indirect call for both. Undefined if empty().
+  void fire() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->fire(storage_);
+  }
+
+  bool empty() const noexcept { return ops_ == nullptr; }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Destroys the stored callable, leaving this empty. Idempotent.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when a callable of type F would be stored inline (no allocation).
+  template <typename F>
+  static constexpr bool stored_inline() {
+    using Fn = std::decay_t<F>;
+    return sizeof(Fn) <= kInlineCapacity && alignof(Fn) <= kInlineAlignment &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct Ops {
+    /// Invokes then destroys the callable (events fire exactly once).
+    void (*fire)(void* storage);
+    /// Move-constructs the callable at `to` from `from` and destroys `from`.
+    void (*relocate)(void* from, void* to);
+    void (*destroy)(void* storage);
+    /// Trivially copyable payload: relocation is a plain memcpy.
+    bool trivial;
+  };
+
+  void steal(EventCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->trivial) {
+        std::memcpy(storage_, other.storage_, kInlineCapacity);
+      } else {
+        ops_->relocate(other.storage_, storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlignment) unsigned char storage_[kInlineCapacity];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(sizeof(EventCallback) == EventCallback::kInlineCapacity + sizeof(void*),
+              "EventCallback must stay at 56 bytes so a simulator event slot "
+              "fits one cache line");
+
+}  // namespace vrc::sim

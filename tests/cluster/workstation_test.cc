@@ -170,7 +170,7 @@ TEST_F(WorkstationTest, AccountingIdentityHoldsPerJob) {
 TEST_F(WorkstationTest, SuspendedJobsAccrueQueueOnly) {
   auto spec = make_spec(1, 5.0, megabytes(100));
   RunningJob& job = node_.add_job(make_job(spec));
-  job.phase = JobPhase::kSuspended;
+  node_.set_job_phase(job, JobPhase::kSuspended);
   run(2.0);
   EXPECT_EQ(job.cpu_done, 0.0);
   EXPECT_NEAR(job.t_queue, 2.0, 1e-6);
@@ -181,14 +181,14 @@ TEST_F(WorkstationTest, SuspendedJobsFreeMemory) {
   auto spec = make_spec(1, 5.0, megabytes(200));
   RunningJob& job = node_.add_job(make_job(spec));
   EXPECT_EQ(node_.resident_demand(), megabytes(200));
-  job.phase = JobPhase::kSuspended;
+  node_.set_job_phase(job, JobPhase::kSuspended);
   EXPECT_EQ(node_.resident_demand(), 0);
 }
 
 TEST_F(WorkstationTest, MigratingJobsHoldMemoryButGetNoCpu) {
   auto spec = make_spec(1, 5.0, megabytes(200));
   RunningJob& job = node_.add_job(make_job(spec));
-  job.phase = JobPhase::kMigrating;
+  node_.set_job_phase(job, JobPhase::kMigrating);
   run(2.0);
   EXPECT_EQ(job.cpu_done, 0.0);
   EXPECT_EQ(node_.resident_demand(), megabytes(200));
@@ -201,9 +201,71 @@ TEST_F(WorkstationTest, IncomingReservationsCountTowardCommitted) {
   EXPECT_EQ(node_.incoming_count(), 1);
   EXPECT_EQ(node_.slots_used(), 1);
   EXPECT_EQ(node_.active_jobs(), 0);
-  node_.remove_incoming(42);
+  EXPECT_TRUE(node_.remove_incoming(42));
   EXPECT_EQ(node_.committed_demand(), 0);
   EXPECT_EQ(node_.slots_used(), 0);
+}
+
+TEST_F(WorkstationTest, RemoveIncomingReportsMissWithoutTouchingState) {
+  node_.add_incoming(7, megabytes(40));
+  EXPECT_FALSE(node_.remove_incoming(8));  // absent id: reservation stays intact
+  EXPECT_EQ(node_.incoming_count(), 1);
+  EXPECT_EQ(node_.incoming_bytes(), megabytes(40));
+  EXPECT_TRUE(node_.remove_incoming(7));
+  EXPECT_FALSE(node_.remove_incoming(7));  // double-release is a miss, not a corruption
+  EXPECT_EQ(node_.incoming_count(), 0);
+  EXPECT_EQ(node_.incoming_bytes(), 0);
+}
+
+// The aggregates (resident demand, active/runnable counts) are maintained
+// incrementally; walk a job through every phase transition and removal and
+// check each one against the definitions.
+TEST_F(WorkstationTest, AggregatesTrackPhaseTransitions) {
+  auto spec_a = make_spec(1, 100.0, megabytes(200));
+  auto spec_b = make_spec(2, 100.0, megabytes(100));
+  RunningJob& a = node_.add_job(make_job(spec_a));
+  node_.add_job(make_job(spec_b));
+  EXPECT_EQ(node_.resident_demand(), megabytes(300));
+  EXPECT_EQ(node_.active_jobs(), 2);
+  EXPECT_EQ(node_.runnable_jobs(), 2);
+  EXPECT_EQ(node_.migrating_jobs(), 0);
+
+  node_.set_job_phase(a, JobPhase::kSuspended);
+  EXPECT_EQ(node_.resident_demand(), megabytes(100));
+  EXPECT_EQ(node_.active_jobs(), 1);
+  EXPECT_EQ(node_.runnable_jobs(), 1);
+
+  node_.set_job_phase(a, JobPhase::kRunning);
+  EXPECT_EQ(node_.resident_demand(), megabytes(300));
+  EXPECT_EQ(node_.active_jobs(), 2);
+  EXPECT_EQ(node_.runnable_jobs(), 2);
+
+  node_.set_job_phase(a, JobPhase::kMigrating);
+  EXPECT_EQ(node_.resident_demand(), megabytes(300));  // image still resident
+  EXPECT_EQ(node_.active_jobs(), 2);                   // still holds its slot
+  EXPECT_EQ(node_.runnable_jobs(), 1);
+  EXPECT_EQ(node_.migrating_jobs(), 1);
+
+  auto removed = node_.remove_job(1);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(node_.resident_demand(), megabytes(100));
+  EXPECT_EQ(node_.active_jobs(), 1);
+  EXPECT_EQ(node_.runnable_jobs(), 1);
+  EXPECT_EQ(node_.migrating_jobs(), 0);
+}
+
+// Removing a suspended job must not disturb the aggregates it is absent from.
+TEST_F(WorkstationTest, RemovingSuspendedJobLeavesAggregatesAlone) {
+  auto spec_a = make_spec(1, 100.0, megabytes(200));
+  auto spec_b = make_spec(2, 100.0, megabytes(100));
+  RunningJob& a = node_.add_job(make_job(spec_a));
+  node_.add_job(make_job(spec_b));
+  node_.set_job_phase(a, JobPhase::kSuspended);
+  auto removed = node_.remove_job(1);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(node_.resident_demand(), megabytes(100));
+  EXPECT_EQ(node_.active_jobs(), 1);
+  EXPECT_EQ(node_.runnable_jobs(), 1);
 }
 
 TEST_F(WorkstationTest, AcceptsNewJobHonorsCpuThreshold) {
@@ -250,7 +312,7 @@ TEST_F(WorkstationTest, MostMemoryIntensiveSkipsMigrating) {
   auto small = make_spec(2, 10.0, megabytes(50));
   RunningJob& big_job = node_.add_job(make_job(big));
   node_.add_job(make_job(small));
-  big_job.phase = JobPhase::kMigrating;
+  node_.set_job_phase(big_job, JobPhase::kMigrating);
   RunningJob* most = node_.most_memory_intensive_job();
   ASSERT_NE(most, nullptr);
   EXPECT_EQ(most->id(), 2u);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace vrc::sim {
@@ -169,6 +172,179 @@ TEST(SimulatorTest, StepExecutesExactlyOneEvent) {
   EXPECT_TRUE(sim.step());
   EXPECT_EQ(count, 2);
   EXPECT_FALSE(sim.step());
+}
+
+// --- determinism contract (locked down before the slab-heap rewrite) ---
+
+TEST(SimulatorTest, EqualTimeFifoSurvivesCancellations) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.schedule_at(5.0, [&order, i] { order.push_back(i); }));
+  }
+  sim.cancel(ids[0]);
+  sim.cancel(ids[4]);
+  sim.cancel(ids[9]);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 5, 6, 7, 8}));
+}
+
+TEST(SimulatorTest, TopLevelPastTimeClampsToNow) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  ASSERT_EQ(sim.now(), 10.0);
+  SimTime observed = -1.0;
+  sim.schedule_at(2.0, [&] { observed = sim.now(); });  // already in the past
+  sim.run();
+  EXPECT_EQ(observed, 10.0);
+  EXPECT_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulatorTest, CancelAtSameTimestampPreventsFiring) {
+  Simulator sim;
+  bool second_fired = false;
+  EventId second = kInvalidEventId;
+  sim.schedule_at(1.0, [&] { EXPECT_TRUE(sim.cancel(second)); });
+  second = sim.schedule_at(1.0, [&] { second_fired = true; });
+  sim.run();
+  EXPECT_FALSE(second_fired);
+  EXPECT_EQ(sim.executed_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAtExactTimestampRunsAllEqualEvents) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(3.0, [&] { ++fired; });
+  sim.schedule_at(3.0 + 1e-9, [&] { fired += 100; });
+  EXPECT_EQ(sim.run_until(3.0), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 3.0);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, PendingEventsAccountingAcrossCancelsAndFires) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(sim.schedule_at(1.0 + i, [] {}));
+  EXPECT_EQ(sim.pending_events(), 6u);
+  EXPECT_TRUE(sim.cancel(ids[1]));
+  EXPECT_TRUE(sim.cancel(ids[3]));
+  EXPECT_EQ(sim.pending_events(), 4u);
+  EXPECT_TRUE(sim.step());  // fires ids[0]
+  EXPECT_EQ(sim.pending_events(), 3u);
+  EXPECT_FALSE(sim.cancel(ids[0]));  // already fired
+  EXPECT_FALSE(sim.cancel(ids[1]));  // already cancelled
+  EXPECT_EQ(sim.pending_events(), 3u);
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, StaleIdNeverCancelsALaterEvent) {
+  Simulator sim;
+  // Exhaust and recycle ids heavily; a cancelled/fired id must stay dead even
+  // after its storage is reused by later events.
+  std::vector<EventId> dead;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 64; ++i) ids.push_back(sim.schedule_after(1.0, [] {}));
+    for (EventId id : ids) EXPECT_TRUE(sim.cancel(id));
+    dead.insert(dead.end(), ids.begin(), ids.end());
+  }
+  int fired = 0;
+  std::vector<EventId> live;
+  for (int i = 0; i < 64; ++i) live.push_back(sim.schedule_after(1.0, [&] { ++fired; }));
+  for (EventId id : dead) EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(fired, 64);
+  for (EventId id : live) EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(SimulatorTest, StressMatchesReferenceModel) {
+  // Deterministic schedule/cancel/run storm checked against a naive model:
+  // a sorted-by-(time, insertion) list with eager deletion.
+  struct ModelEvent {
+    SimTime when;
+    std::uint64_t seq;
+    int tag;
+  };
+  Simulator sim;
+  std::vector<ModelEvent> model;
+  std::vector<std::pair<EventId, ModelEvent>> live;
+  std::vector<int> fired;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull, seq = 0;
+  auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int op = 0; op < 4000; ++op) {
+    const std::uint64_t roll = next() % 100;
+    if (roll < 55 || live.empty()) {
+      const SimTime when = sim.now() + static_cast<double>(next() % 1000) / 10.0;
+      const int tag = op;
+      EventId id = sim.schedule_at(when, [&fired, tag] { fired.push_back(tag); });
+      live.push_back({id, ModelEvent{when, seq++, tag}});
+    } else if (roll < 75) {
+      const std::size_t victim = next() % live.size();
+      EXPECT_TRUE(sim.cancel(live[victim].first));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else if (roll < 90) {
+      for (int i = 0; i < 3 && !live.empty(); ++i) {
+        // Fire the earliest (time, insertion) live event in the model.
+        std::size_t best = 0;
+        for (std::size_t i2 = 1; i2 < live.size(); ++i2) {
+          const auto& a = live[i2].second;
+          const auto& b = live[best].second;
+          if (a.when < b.when || (a.when == b.when && a.seq < b.seq)) best = i2;
+        }
+        model.push_back(live[best].second);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(best));
+        EXPECT_TRUE(sim.step());
+      }
+    } else {
+      const SimTime deadline = sim.now() + static_cast<double>(next() % 200) / 10.0;
+      auto due = [&](const ModelEvent& e) { return e.when <= deadline; };
+      while (true) {
+        std::size_t best = live.size();
+        for (std::size_t i2 = 0; i2 < live.size(); ++i2) {
+          if (!due(live[i2].second)) continue;
+          if (best == live.size()) {
+            best = i2;
+            continue;
+          }
+          const auto& a = live[i2].second;
+          const auto& b = live[best].second;
+          if (a.when < b.when || (a.when == b.when && a.seq < b.seq)) best = i2;
+        }
+        if (best == live.size()) break;
+        model.push_back(live[best].second);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(best));
+      }
+      sim.run_until(deadline);
+    }
+    ASSERT_EQ(sim.pending_events(), live.size());
+  }
+  sim.run();
+  // Drain the model in order.
+  std::sort(model.begin(), model.end(), [](const ModelEvent& a, const ModelEvent& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  });
+  // model holds already-fired events in fire order; append remaining live.
+  std::vector<ModelEvent> rest;
+  for (auto& entry : live) rest.push_back(entry.second);
+  std::sort(rest.begin(), rest.end(), [](const ModelEvent& a, const ModelEvent& b) {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  });
+  std::vector<int> expected;
+  for (const auto& e : model) expected.push_back(e.tag);
+  for (const auto& e : rest) expected.push_back(e.tag);
+  EXPECT_EQ(fired, expected);
 }
 
 TEST(PeriodicTaskTest, FiresAtFixedPeriod) {
