@@ -8,7 +8,18 @@ by more than the allowed factor (default 3x). The wide factor absorbs noisy
 shared CI runners while still catching order-of-magnitude regressions like an
 accidental O(n) scan reintroduced on the event hot path.
 
-Usage: check_bench_regression.py BASELINE.json CURRENT.json [--factor 3.0]
+Usage:
+  check_bench_regression.py BASELINE.json CURRENT.json [--factor 3.0]
+  check_bench_regression.py BASELINE.json CURRENT.json --list
+  check_bench_regression.py --self-test
+
+--list prints a delta table (baseline min, current min, ratio, signed %)
+for every benchmark in either file — including current-only ones the gate
+ignores — without enforcing the factor; the perf-smoke job runs it so the CI
+log always shows the full picture even when the gate passes.
+
+--self-test exercises the comparison logic on synthetic in-memory fixtures
+(no files needed) and is invoked from the tools-lint CI job.
 """
 
 import argparse
@@ -16,10 +27,8 @@ import json
 import sys
 
 
-def min_times(path):
+def min_times_from_data(data):
     """Map benchmark name -> (min real_time across repetitions, time unit)."""
-    with open(path) as fh:
-        data = json.load(fh)
     times = {}
     for bench in data.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev); keep per-repetition runs.
@@ -33,17 +42,14 @@ def min_times(path):
     return times
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--factor", type=float, default=3.0,
-                        help="fail when current_min > factor * baseline_min")
-    args = parser.parse_args()
+def min_times(path):
+    with open(path) as fh:
+        return min_times_from_data(json.load(fh))
 
-    baseline = min_times(args.baseline)
-    current = min_times(args.current)
 
+def compare(baseline, current, factor):
+    """Returns (report_lines, failure_messages) for the gate mode."""
+    lines = []
     failures = []
     for name, (base, unit) in sorted(baseline.items()):
         entry = current.get(name)
@@ -52,12 +58,163 @@ def main():
             continue
         cur = entry[0]
         ratio = cur / base if base > 0 else float("inf")
-        status = "FAIL" if ratio > args.factor else "ok"
-        print(f"{status:4} {name}: baseline {base:.1f} {unit}, "
-              f"current {cur:.1f} {unit} ({ratio:.2f}x)")
-        if ratio > args.factor:
+        status = "FAIL" if ratio > factor else "ok"
+        lines.append(f"{status:4} {name}: baseline {base:.1f} {unit}, "
+                     f"current {cur:.1f} {unit} ({ratio:.2f}x)")
+        if ratio > factor:
             failures.append(f"{name}: {ratio:.2f}x slower than baseline "
-                            f"(limit {args.factor:.1f}x)")
+                            f"(limit {factor:.1f}x)")
+    return lines, failures
+
+
+def delta_rows(baseline, current):
+    """Rows of (name, base, cur, ratio, unit) over the union of benchmarks.
+    base or cur is None when the benchmark exists on only one side."""
+    rows = []
+    for name in sorted(set(baseline) | set(current)):
+        base_entry = baseline.get(name)
+        cur_entry = current.get(name)
+        unit = (cur_entry or base_entry)[1]
+        base = base_entry[0] if base_entry else None
+        cur = cur_entry[0] if cur_entry else None
+        ratio = None
+        if base is not None and cur is not None and base > 0:
+            ratio = cur / base
+        rows.append((name, base, cur, ratio, unit))
+    return rows
+
+
+def format_delta_table(rows):
+    """Renders the --list table: per-benchmark baseline vs current deltas."""
+    header = (f"{'benchmark':<44} {'baseline':>12} {'current':>12} "
+              f"{'ratio':>7} {'delta':>8}")
+    lines = [header, "-" * len(header)]
+    for name, base, cur, ratio, unit in rows:
+        base_text = f"{base:.1f} {unit}" if base is not None else "(absent)"
+        cur_text = f"{cur:.1f} {unit}" if cur is not None else "(absent)"
+        if ratio is not None:
+            ratio_text = f"{ratio:.2f}x"
+            delta_text = f"{(ratio - 1.0) * 100.0:+.1f}%"
+        else:
+            ratio_text = "-"
+            delta_text = "-"
+        lines.append(f"{name:<44} {base_text:>12} {cur_text:>12} "
+                     f"{ratio_text:>7} {delta_text:>8}")
+    return lines
+
+
+def self_test():
+    """Unit-tests the comparison logic on synthetic google-benchmark JSON."""
+    baseline_data = {"benchmarks": [
+        # Two repetitions: min should win (100, not 140).
+        {"name": "BM_Fast/process_time", "run_name": "BM_Fast",
+         "run_type": "iteration", "real_time": 140.0, "time_unit": "ns"},
+        {"name": "BM_Fast/process_time", "run_name": "BM_Fast",
+         "run_type": "iteration", "real_time": 100.0, "time_unit": "ns"},
+        # Aggregate rows must be ignored even with a tiny real_time.
+        {"name": "BM_Fast_mean", "run_name": "BM_Fast",
+         "run_type": "aggregate", "real_time": 1.0, "time_unit": "ns"},
+        {"name": "BM_Slow", "run_type": "iteration",
+         "real_time": 200.0, "time_unit": "ns"},
+        {"name": "BM_Gone", "run_type": "iteration",
+         "real_time": 50.0, "time_unit": "ns"},
+    ]}
+    current_data = {"benchmarks": [
+        {"name": "BM_Fast/process_time", "run_name": "BM_Fast",
+         "run_type": "iteration", "real_time": 250.0, "time_unit": "ns"},
+        # 4x the baseline min: must fail a 3x gate, pass a 5x gate.
+        {"name": "BM_Slow", "run_type": "iteration",
+         "real_time": 800.0, "time_unit": "ns"},
+        {"name": "BM_New", "run_type": "iteration",
+         "real_time": 10.0, "time_unit": "ns"},
+    ]}
+
+    failures = []
+
+    def check(condition, label):
+        if not condition:
+            failures.append(label)
+
+    baseline = min_times_from_data(baseline_data)
+    current = min_times_from_data(current_data)
+
+    check(baseline["BM_Fast"] == (100.0, "ns"),
+          "min across repetitions: expected (100.0, 'ns'), "
+          f"got {baseline.get('BM_Fast')}")
+    check("BM_Fast_mean" not in baseline and
+          all(entry[0] > 1.0 for entry in baseline.values()),
+          "aggregate rows must be skipped")
+
+    _lines, gate_failures = compare(baseline, current, factor=3.0)
+    check(any("BM_Slow" in failure and "4.00x" in failure
+              for failure in gate_failures),
+          f"3x gate must flag BM_Slow at 4.00x, got {gate_failures}")
+    check(any("BM_Gone" in failure and "missing" in failure
+              for failure in gate_failures),
+          f"3x gate must flag missing BM_Gone, got {gate_failures}")
+    check(not any("BM_Fast" in failure for failure in gate_failures),
+          f"3x gate must pass BM_Fast at 2.50x, got {gate_failures}")
+
+    _lines, relaxed_failures = compare(baseline, current, factor=5.0)
+    check(not any("BM_Slow" in failure for failure in relaxed_failures),
+          f"5x gate must pass BM_Slow at 4.00x, got {relaxed_failures}")
+
+    rows = delta_rows(baseline, current)
+    row_map = {row[0]: row for row in rows}
+    check(set(row_map) == {"BM_Fast", "BM_Slow", "BM_Gone", "BM_New"},
+          f"--list must cover the union of benchmarks, got {sorted(row_map)}")
+    check(row_map["BM_New"][1] is None and row_map["BM_New"][3] is None,
+          "current-only benchmark must have no baseline or ratio")
+    check(row_map["BM_Gone"][2] is None,
+          "baseline-only benchmark must have no current time")
+    check(abs(row_map["BM_Slow"][3] - 4.0) < 1e-9,
+          f"BM_Slow ratio must be 4.0, got {row_map['BM_Slow'][3]}")
+
+    table = format_delta_table(rows)
+    check(len(table) == 2 + len(rows), "table must have header + one row each")
+    check(any("+300.0%" in line for line in table),
+          "BM_Slow delta must render as +300.0%")
+    check(any("(absent)" in line for line in table),
+          "one-sided benchmarks must render as (absent)")
+
+    if failures:
+        print("check_bench_regression self-test FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("check_bench_regression self-test passed.")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
+    parser.add_argument("--factor", type=float, default=3.0,
+                        help="fail when current_min > factor * baseline_min")
+    parser.add_argument("--list", action="store_true",
+                        help="print per-benchmark deltas without enforcing "
+                             "the factor gate")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in unit self-test and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.current is None:
+        parser.error("BASELINE and CURRENT are required unless --self-test")
+
+    baseline = min_times(args.baseline)
+    current = min_times(args.current)
+
+    if args.list:
+        for line in format_delta_table(delta_rows(baseline, current)):
+            print(line)
+        return 0
+
+    lines, failures = compare(baseline, current, args.factor)
+    for line in lines:
+        print(line)
 
     if failures:
         print("\nPerf regression gate failed:", file=sys.stderr)

@@ -109,9 +109,11 @@ void Cluster::place_remote(RunningJob& job, NodeId node_id) {
   ++inflight_;
   ++remote_submits_;
 
-  RunningJob* raw = owned.release();
-  network_.start_remote_submit([this, raw, node_id] {
-    std::unique_ptr<RunningJob> arrived(raw);
+  // The callback owns the in-flight job: if the run is cut off before the
+  // submit completes, destroying the unfired event frees the job instead of
+  // leaking it (caught by the asan-ubsan CI job's LeakSanitizer pass).
+  network_.start_remote_submit([this, owned = std::move(owned), node_id]() mutable {
+    std::unique_ptr<RunningJob> arrived = std::move(owned);
     const SimTime done = sim_.now();
     arrived->t_mig += done - arrived->accounted_until;
     arrived->accounted_until = done;

@@ -15,25 +15,15 @@ SimTime Network::migration_cost(Bytes image) const {
   return remote_submit_cost_ + static_cast<double>(image) / bytes_per_sec_;
 }
 
-SimTime Network::start_transfer(Bytes image, std::function<void()> done) {
+SimTime Network::begin_transfer(Bytes image) {
   ++transfers_;
   bytes_ += image;
-  SimTime completion;
   if (contention_) {
     const SimTime start = std::max(sim_.now(), busy_until_);
-    completion = start + migration_cost(image);
-    busy_until_ = completion;
-  } else {
-    completion = sim_.now() + migration_cost(image);
+    busy_until_ = start + migration_cost(image);
+    return busy_until_;
   }
-  sim_.schedule_at(completion, std::move(done));
-  return completion;
-}
-
-SimTime Network::start_remote_submit(std::function<void()> done) {
-  const SimTime completion = sim_.now() + remote_submit_cost_;
-  sim_.schedule_at(completion, std::move(done));
-  return completion;
+  return sim_.now() + migration_cost(image);
 }
 
 }  // namespace vrc::cluster

@@ -7,7 +7,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <utility>
 
 #include "cluster/config.h"
 #include "sim/simulator.h"
@@ -29,10 +29,22 @@ class Network {
   /// Starts a bulk transfer of `image` bytes and invokes `done` when it
   /// completes. With contention enabled the transfer queues behind earlier
   /// transfers on the shared segment. Returns the completion time.
-  SimTime start_transfer(Bytes image, std::function<void()> done);
+  /// `done` may be move-only (e.g. own the in-flight job via unique_ptr),
+  /// so an unfired completion still releases its payload at teardown.
+  template <typename F>
+  SimTime start_transfer(Bytes image, F&& done) {
+    const SimTime completion = begin_transfer(image);
+    sim_.schedule_at(completion, std::forward<F>(done));
+    return completion;
+  }
 
   /// Starts a remote-submission control exchange; `done` fires after r.
-  SimTime start_remote_submit(std::function<void()> done);
+  template <typename F>
+  SimTime start_remote_submit(F&& done) {
+    const SimTime completion = sim_.now() + remote_submit_cost_;
+    sim_.schedule_at(completion, std::forward<F>(done));
+    return completion;
+  }
 
   // --- statistics ---
   std::uint64_t transfers_started() const { return transfers_; }
@@ -40,10 +52,14 @@ class Network {
   SimTime busy_until() const { return busy_until_; }
 
  private:
+  /// Accounts a transfer and returns its completion time (serialized behind
+  /// earlier transfers when contention is enabled).
+  SimTime begin_transfer(Bytes image);
+
   sim::Simulator& sim_;
-  double bytes_per_sec_;
-  SimTime remote_submit_cost_;
-  bool contention_;
+  double bytes_per_sec_ = 0.0;
+  SimTime remote_submit_cost_ = 0.0;
+  bool contention_ = false;
   SimTime busy_until_ = 0.0;
   std::uint64_t transfers_ = 0;
   Bytes bytes_ = 0;

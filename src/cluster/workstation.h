@@ -127,8 +127,8 @@ class Workstation {
   NodeId id_;
   NodeConfig hardware_;
   const ClusterConfig* config_;
-  double speed_factor_;
-  double rr_efficiency_;  // q / (q + c)
+  double speed_factor_ = 1.0;
+  double rr_efficiency_ = 1.0;  // q / (q + c)
 
   std::vector<std::unique_ptr<RunningJob>> jobs_;
   // Incrementally maintained aggregates over jobs_ (updated by add_job,

@@ -100,7 +100,7 @@ class VReconfiguration : public GLoadSharing {
   struct Reservation {
     NodeId node;
     ReservationState state;
-    SimTime started;
+    SimTime started = 0.0;
   };
 
   /// Handles a detected blocking event for the pressured node. Returns true

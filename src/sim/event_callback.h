@@ -142,7 +142,7 @@ class EventCallback {
     void (*relocate)(void* from, void* to);
     void (*destroy)(void* storage);
     /// Trivially copyable payload: relocation is a plain memcpy.
-    bool trivial;
+    bool trivial = false;
   };
 
   void steal(EventCallback& other) noexcept {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 namespace vrc::sim {
@@ -9,7 +10,7 @@ namespace vrc::sim {
 std::uint32_t Simulator::alloc_slot_slow() {
   assert(num_slots_ < (1u << kSlotBits) && "event slab exhausted");
   if (num_slots_ == chunks_.size() * kChunkSize) {
-    chunks_.emplace_back(new Slot[kChunkSize]);
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
   }
   return num_slots_++;
 }

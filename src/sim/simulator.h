@@ -223,7 +223,7 @@ class PeriodicTask {
   void arm(SimTime when);
 
   Simulator& sim_;
-  SimTime period_;
+  SimTime period_ = 0.0;
   Callback callback_;
   EventId pending_ = kInvalidEventId;
   bool running_ = true;

@@ -94,8 +94,8 @@ class Histogram {
   std::size_t in_range() const { return total_ - underflow_ - overflow_; }
 
  private:
-  double lo_;
-  double hi_;
+  double lo_ = 0.0;
+  double hi_ = 0.0;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
   std::size_t underflow_ = 0;

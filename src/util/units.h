@@ -23,7 +23,9 @@ inline constexpr Bytes kGiB = 1024 * kMiB;
 constexpr Bytes megabytes(double mb) { return static_cast<Bytes>(mb * static_cast<double>(kMiB)); }
 
 /// Converts bytes to mebibytes (for reporting).
-constexpr double to_megabytes(Bytes b) { return static_cast<double>(b) / static_cast<double>(kMiB); }
+constexpr double to_megabytes(Bytes b) {
+  return static_cast<double>(b) / static_cast<double>(kMiB);
+}
 
 /// Converts milliseconds to seconds.
 constexpr SimTime milliseconds(double ms) { return ms / 1000.0; }

@@ -17,8 +17,8 @@ namespace vrc::workload {
 class MemoryProfile {
  public:
   struct Point {
-    double progress;  // in [0, 1], strictly increasing across points
-    Bytes demand;
+    double progress = 0.0;  // in [0, 1], strictly increasing across points
+    Bytes demand = 0;
   };
 
   /// Constant demand over the whole lifetime.

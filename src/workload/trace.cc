@@ -9,8 +9,9 @@ namespace vrc::workload {
 
 Trace::Trace(std::string name, WorkloadGroup group, SimTime duration, std::vector<JobSpec> jobs)
     : name_(std::move(name)), group_(group), duration_(duration), jobs_(std::move(jobs)) {
-  std::stable_sort(jobs_.begin(), jobs_.end(),
-                   [](const JobSpec& a, const JobSpec& b) { return a.submit_time < b.submit_time; });
+  std::stable_sort(jobs_.begin(), jobs_.end(), [](const JobSpec& a, const JobSpec& b) {
+    return a.submit_time < b.submit_time;
+  });
 }
 
 SimTime Trace::total_cpu_seconds() const {

@@ -106,7 +106,8 @@ Trace generate_trace(const TraceParams& params) {
 Trace standard_trace(WorkloadGroup group, int index, std::uint32_t num_nodes) {
   const StandardTraceShape shape = standard_trace_shape(index);
   TraceParams params;
-  params.name = (group == WorkloadGroup::kSpec ? std::string("SPEC-Trace-") : std::string("App-Trace-")) +
+  params.name = (group == WorkloadGroup::kSpec ? std::string("SPEC-Trace-")
+                                               : std::string("App-Trace-")) +
                 std::to_string(index);
   params.group = group;
   params.sigma = shape.sigma;
@@ -116,7 +117,8 @@ Trace standard_trace(WorkloadGroup group, int index, std::uint32_t num_nodes) {
   params.num_nodes = num_nodes;
   // Deterministic per-(group, index) seed: the same trace is replayed for
   // every policy, mirroring the paper's collect-once-replay-everywhere setup.
-  params.seed = 0xC0FFEEULL * 31 + static_cast<std::uint64_t>(group == WorkloadGroup::kSpec ? 1 : 2) * 1000 +
+  params.seed = 0xC0FFEEULL * 31 +
+                static_cast<std::uint64_t>(group == WorkloadGroup::kSpec ? 1 : 2) * 1000 +
                 static_cast<std::uint64_t>(index);
   return generate_trace(params);
 }

@@ -45,10 +45,10 @@ struct TraceParams {
 
 /// Index of the paper's five standard traces (1..5 = light..highly intensive).
 struct StandardTraceShape {
-  double sigma;
-  double mu;
-  std::size_t num_jobs;
-  SimTime duration;
+  double sigma = 0.0;
+  double mu = 0.0;
+  std::size_t num_jobs = 0;
+  SimTime duration = 0.0;
 };
 
 /// The published (sigma, mu, jobs, duration) for trace index 1..5.

@@ -60,7 +60,7 @@ TEST(ExperimentTest, ReportBreakdownSumsToExecution) {
   const auto config = paper_cluster_for(workload::WorkloadGroup::kApps, 4);
   const auto report = run_policy_on_trace(PolicyKind::kVReconfiguration, trace, config);
   EXPECT_NEAR(report.total_cpu + report.total_page + report.total_queue + report.total_migration,
-              report.total_execution, 0.05 * report.jobs_completed);
+              report.total_execution, 0.05 * static_cast<double>(report.jobs_completed));
 }
 
 TEST(ExperimentTest, DeterministicAcrossRuns) {

@@ -112,7 +112,7 @@ TEST(GLoadSharingTest, AdmissionRespectsMemoryThresholdViaEstimate) {
   Cluster cluster(sim, config, policy);
   // Occupy most of the memory threshold.
   const Bytes user = cluster.node(0).user_memory();
-  const Bytes big = static_cast<Bytes>(config.memory_threshold * user) - megabytes(30);
+  const Bytes big = static_cast<Bytes>(config.memory_threshold * static_cast<double>(user)) - megabytes(30);
   cluster.submit_job(make_spec(1, 0.0, 1000.0, big, 0));
   sim.run_until(1.0);
   // A new job's unknown demand is assumed to be the admission estimate,

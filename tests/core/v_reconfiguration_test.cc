@@ -201,9 +201,9 @@ TEST(VReconfigurationTest, StatsIncludeReconfigurationCounters) {
   auto stats = policy.stats();
   std::set<std::string> keys;
   for (const auto& [key, value] : stats) keys.insert(key);
-  EXPECT_TRUE(keys.count("reservations_started"));
-  EXPECT_TRUE(keys.count("reserved_migrations"));
-  EXPECT_TRUE(keys.count("drains_timed_out"));
+  EXPECT_TRUE(keys.contains("reservations_started"));
+  EXPECT_TRUE(keys.contains("reserved_migrations"));
+  EXPECT_TRUE(keys.contains("drains_timed_out"));
 }
 
 }  // namespace

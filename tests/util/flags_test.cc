@@ -129,6 +129,141 @@ TEST(FlagSetTest, DefaultsSurviveWhenNotGiven) {
   EXPECT_EQ(value, 99);
 }
 
+TEST(FlagSetTest, RepeatedFlagLastValueWins) {
+  FlagSet flags;
+  int value = 0;
+  flags.add_int("count", &value, "");
+  auto argv = argv_of({"--count=1", "--count", "2", "--count=3"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, 3);
+}
+
+TEST(FlagSetTest, RepeatedFlagStopsAtFirstBadValue) {
+  FlagSet flags;
+  int value = 0;
+  flags.add_int("count", &value, "");
+  auto argv = argv_of({"--count=4", "--count=oops", "--count=9"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, 4);  // the valid assignment before the error sticks
+}
+
+TEST(FlagSetTest, JobsZeroIsParsedVerbatim) {
+  // --jobs 0 means "auto" to the sweep benches; the parser itself must pass
+  // the literal 0 through rather than rejecting or defaulting it.
+  FlagSet flags;
+  int jobs = 8;
+  flags.add_int("jobs", &jobs, "worker threads (0 = hardware concurrency)");
+  auto argv = argv_of({"--jobs", "0"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(jobs, 0);
+}
+
+TEST(FlagSetTest, MissingValueAtEndOfArgvFails) {
+  FlagSet flags;
+  std::string value = "keep";
+  flags.add_string("name", &value, "");
+  auto argv = argv_of({"positional", "--name"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, "keep");
+}
+
+TEST(FlagSetTest, EmptyEqualsValueForIntFails) {
+  FlagSet flags;
+  int value = 11;
+  flags.add_int("count", &value, "");
+  auto argv = argv_of({"--count="});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, 11);
+}
+
+TEST(FlagSetTest, EmptyEqualsValueForStringIsEmpty) {
+  FlagSet flags;
+  std::string value = "original";
+  flags.add_string("name", &value, "");
+  auto argv = argv_of({"--name="});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, "");
+}
+
+TEST(FlagSetTest, NegativeSeparateValueIsConsumedAsValue) {
+  FlagSet flags;
+  int value = 0;
+  flags.add_int("delta", &value, "");
+  auto argv = argv_of({"--delta", "-5"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, -5);
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(FlagSetTest, BoolRejectsGarbageValue) {
+  FlagSet flags;
+  bool value = false;
+  flags.add_bool("verbose", &value, "");
+  auto argv = argv_of({"--verbose=maybe"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSetTest, BoolDoesNotConsumeFollowingArgument) {
+  FlagSet flags;
+  bool value = false;
+  flags.add_bool("verbose", &value, "");
+  auto argv = argv_of({"--verbose", "trailing"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(value);
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"trailing"}));
+}
+
+TEST(FlagSetTest, Int64OverflowFails) {
+  FlagSet flags;
+  long long value = 3;
+  flags.add_int64("big", &value, "");
+  auto argv = argv_of({"--big=99999999999999999999999999"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, 3);
+}
+
+TEST(FlagSetTest, TrailingJunkAfterNumberFails) {
+  FlagSet flags;
+  double value = 1.0;
+  flags.add_double("ratio", &value, "");
+  auto argv = argv_of({"--ratio=2.5x"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(value, 1.0);
+}
+
+TEST(FlagSetTest, ScientificNotationDoubleParses) {
+  FlagSet flags;
+  double value = 0.0;
+  flags.add_double("ratio", &value, "");
+  auto argv = argv_of({"--ratio=1e-3"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_DOUBLE_EQ(value, 1e-3);
+}
+
+TEST(FlagSetTest, BareDoubleDashIsUnknownFlag) {
+  FlagSet flags;
+  auto argv = argv_of({"--"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+}
+
+TEST(FlagSetTest, ValueContainingEqualsIsPreserved) {
+  FlagSet flags;
+  std::string value;
+  flags.add_string("expr", &value, "");
+  auto argv = argv_of({"--expr=a=b=c"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(value, "a=b=c");
+}
+
+TEST(FlagSetTest, ReparseClearsPreviousPositionals) {
+  FlagSet flags;
+  auto first = argv_of({"one", "two"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(first.size()), first.data()));
+  auto second = argv_of({"three"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(second.size()), second.data()));
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"three"}));
+}
+
 TEST(FlagSetTest, UsageListsFlagsAndDefaults) {
   FlagSet flags;
   int value = 5;

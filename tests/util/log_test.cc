@@ -44,6 +44,54 @@ TEST(LogTest, OffSilencesEverything) {
   EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
 }
 
+TEST(LogTest, EveryLevelFiltersStrictlyBelowItself) {
+  LogLevelGuard guard;
+  const struct {
+    LogLevel threshold;
+    bool debug, info, warn, error;
+  } kCases[] = {
+      {LogLevel::kDebug, true, true, true, true},
+      {LogLevel::kInfo, false, true, true, true},
+      {LogLevel::kWarn, false, false, true, true},
+      {LogLevel::kError, false, false, false, true},
+      {LogLevel::kOff, false, false, false, false},
+  };
+  for (const auto& c : kCases) {
+    set_log_level(c.threshold);
+    testing::internal::CaptureStderr();
+    log_line(LogLevel::kDebug, "dbg-probe");
+    log_line(LogLevel::kInfo, "info-probe");
+    log_line(LogLevel::kWarn, "warn-probe");
+    log_line(LogLevel::kError, "error-probe");
+    const std::string output = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(output.find("dbg-probe") != std::string::npos, c.debug)
+        << "threshold=" << static_cast<int>(c.threshold);
+    EXPECT_EQ(output.find("info-probe") != std::string::npos, c.info)
+        << "threshold=" << static_cast<int>(c.threshold);
+    EXPECT_EQ(output.find("warn-probe") != std::string::npos, c.warn)
+        << "threshold=" << static_cast<int>(c.threshold);
+    EXPECT_EQ(output.find("error-probe") != std::string::npos, c.error)
+        << "threshold=" << static_cast<int>(c.threshold);
+  }
+}
+
+TEST(LogTest, LogLevelRoundTrips) {
+  LogLevelGuard guard;
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(LogTest, EmptyMessageStillEmitsTaggedLine) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kInfo, "");
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "[INFO] \n");
+}
+
 TEST(LogTest, StreamsArbitraryTypes) {
   LogLevelGuard guard;
   set_log_level(LogLevel::kInfo);

@@ -36,7 +36,8 @@ TEST(MemoryProfileTest, ClampsOutOfRangeProgress) {
 }
 
 TEST(MemoryProfileTest, PhasedProfileInterpolates) {
-  auto p = MemoryProfile::phased({{0.0, megabytes(10)}, {0.5, megabytes(30)}, {1.0, megabytes(20)}});
+  auto p =
+      MemoryProfile::phased({{0.0, megabytes(10)}, {0.5, megabytes(30)}, {1.0, megabytes(20)}});
   EXPECT_EQ(p.demand_at(0.0), megabytes(10));
   EXPECT_EQ(p.demand_at(0.25), megabytes(20));
   EXPECT_EQ(p.demand_at(0.5), megabytes(30));
@@ -60,7 +61,8 @@ TEST(MemoryProfileTest, ScaledMultipliesEveryPoint) {
 }
 
 TEST(MemoryProfileTest, DemandIsMonotoneForMonotoneProfile) {
-  auto p = MemoryProfile::phased({{0.0, megabytes(4)}, {0.05, megabytes(50)}, {1.0, megabytes(100)}});
+  auto p =
+      MemoryProfile::phased({{0.0, megabytes(4)}, {0.05, megabytes(50)}, {1.0, megabytes(100)}});
   Bytes last = -1;
   for (double progress = 0.0; progress <= 1.0; progress += 0.01) {
     Bytes d = p.demand_at(progress);

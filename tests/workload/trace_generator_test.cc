@@ -128,8 +128,8 @@ TEST(TraceGeneratorTest, JitterBoundsRespected) {
     ASSERT_TRUE(program.has_value());
     EXPECT_GE(job.cpu_seconds, program->lifetime * 0.899);
     EXPECT_LE(job.cpu_seconds, program->lifetime * 1.101);
-    EXPECT_GE(job.working_set(), static_cast<Bytes>(program->working_set * 0.919));
-    EXPECT_LE(job.working_set(), static_cast<Bytes>(program->working_set * 1.081));
+    EXPECT_GE(job.working_set(), static_cast<Bytes>(static_cast<double>(program->working_set) * 0.919));
+    EXPECT_LE(job.working_set(), static_cast<Bytes>(static_cast<double>(program->working_set) * 1.081));
   }
 }
 
