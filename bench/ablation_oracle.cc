@@ -18,25 +18,23 @@ int main(int argc, char** argv) {
 
   vrc::workload::WorkloadGroup group;
   if (!vrc::workload::parse_workload_group(group_name, &group)) return 1;
-  const auto config =
-      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
+
+  vrc::runner::ScenarioSpec spec = vrc::bench::group_sweep_scenario(group, options);
+  spec.policies = {vrc::core::PolicySpec("g-loadsharing"), vrc::core::PolicySpec("v-reconf"),
+                   vrc::core::PolicySpec("oracle")};
+  const auto run = vrc::bench::run_scenario_or_die(spec, options.jobs);
 
   using vrc::util::Table;
   Table table({"trace", "T_exe G-LS (s)", "T_exe V-Recon (s)", "T_exe Oracle (s)",
                "uncertainty cost", "recovered by V-Recon"});
-  for (int index = options.trace_from; index <= options.trace_to; ++index) {
-    const auto trace = vrc::workload::standard_trace(group, index,
-                                                     static_cast<std::uint32_t>(options.nodes));
-    const auto gls =
-        vrc::core::run_policy_on_trace(vrc::core::PolicyKind::kGLoadSharing, trace, config);
-    const auto vrc_report =
-        vrc::core::run_policy_on_trace(vrc::core::PolicyKind::kVReconfiguration, trace, config);
-    const auto oracle =
-        vrc::core::run_policy_on_trace(vrc::core::PolicyKind::kOracleDemands, trace, config);
+  for (std::size_t t = 0; t < run.num_traces; ++t) {
+    const auto& gls = run.cell(0, t, 0).report;
+    const auto& vrc_report = run.cell(0, t, 1).report;
+    const auto& oracle = run.cell(0, t, 2).report;
     const double gap = gls.total_execution - oracle.total_execution;
     const double recovered =
         gap > 0.0 ? (gls.total_execution - vrc_report.total_execution) / gap : 0.0;
-    table.add_row({trace.name(), Table::fmt(gls.total_execution, 0),
+    table.add_row({gls.trace, Table::fmt(gls.total_execution, 0),
                    Table::fmt(vrc_report.total_execution, 0),
                    Table::fmt(oracle.total_execution, 0),
                    Table::pct(vrc::metrics::reduction(gls.total_execution,

@@ -16,34 +16,30 @@ int main(int argc, char** argv) {
 
   vrc::workload::WorkloadGroup group;
   if (!vrc::workload::parse_workload_group(group_name, &group)) return 1;
-  const auto config =
-      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
+
+  // The whole ablation is one declarative scenario: the reserving-period
+  // variant is just a policy param, so the variants ride the policy axis.
+  vrc::runner::ScenarioSpec spec = vrc::bench::group_sweep_scenario(group, options);
+  spec.policies = {vrc::core::PolicySpec("g-loadsharing"),
+                   vrc::core::PolicySpec::parse("v-reconf:early_release=0").value(),
+                   vrc::core::PolicySpec::parse("v-reconf:early_release=1").value()};
+  const auto run = vrc::bench::run_scenario_or_die(spec, options.jobs);
+
+  auto timed_out = [](const vrc::metrics::RunReport& report) {
+    for (const auto& [key, value] : report.policy_stats) {
+      if (key == "drains_timed_out") return value;
+    }
+    return 0.0;
+  };
 
   using vrc::util::Table;
   Table table({"trace", "T_exe G-LS (s)", "full-drain red.", "early-release red.",
                "drains timed out (full)", "drains timed out (early)"});
-  for (int index = options.trace_from; index <= options.trace_to; ++index) {
-    const auto trace = vrc::workload::standard_trace(group, index,
-                                                     static_cast<std::uint32_t>(options.nodes));
-    const auto baseline =
-        vrc::core::run_policy_on_trace(vrc::core::PolicyKind::kGLoadSharing, trace, config);
-
-    auto run_variant = [&](bool early_release) {
-      vrc::core::VReconfiguration::Options opts;
-      opts.early_release = early_release;
-      vrc::core::VReconfiguration policy(opts);
-      return vrc::core::run_experiment(trace, config, policy);
-    };
-    const auto full = run_variant(false);
-    const auto early = run_variant(true);
-
-    auto timed_out = [](const vrc::metrics::RunReport& report) {
-      for (const auto& [key, value] : report.policy_stats) {
-        if (key == "drains_timed_out") return value;
-      }
-      return 0.0;
-    };
-    table.add_row({trace.name(), Table::fmt(baseline.total_execution, 0),
+  for (std::size_t t = 0; t < run.num_traces; ++t) {
+    const auto& baseline = run.cell(0, t, 0).report;
+    const auto& full = run.cell(0, t, 1).report;
+    const auto& early = run.cell(0, t, 2).report;
+    table.add_row({baseline.trace, Table::fmt(baseline.total_execution, 0),
                    Table::pct(vrc::metrics::reduction(baseline.total_execution,
                                                       full.total_execution)),
                    Table::pct(vrc::metrics::reduction(baseline.total_execution,

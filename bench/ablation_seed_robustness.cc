@@ -20,31 +20,19 @@ int main(int argc, char** argv) {
   vrc::workload::WorkloadGroup group;
   if (!vrc::workload::parse_workload_group(group_name, &group)) return 1;
 
-  // One grid over every (shape, seed) realization; the policy axis carries
-  // the baseline/ours pair, so cells 2i / 2i+1 belong to trace i.
-  vrc::runner::SweepGrid grid;
-  grid.configs = {
-      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes))};
-  grid.policies = {vrc::core::PolicyKind::kGLoadSharing,
-                   vrc::core::PolicyKind::kVReconfiguration};
+  // One scenario over every (shape, seed) realization: a standard-shape
+  // TraceSpec with an explicit seed regenerates the shape as a fresh
+  // realization, so the whole (shape x seed) axis is declarative.
+  vrc::runner::ScenarioSpec spec = vrc::bench::group_sweep_scenario(group, options);
+  spec.traces.clear();
   for (int index = options.trace_from; index <= options.trace_to; ++index) {
-    const auto shape = vrc::workload::standard_trace_shape(index);
     for (int seed = 0; seed < seeds; ++seed) {
-      vrc::workload::TraceParams params;
-      params.name = vrc::bench::standard_trace_name(group, index);
-      params.group = group;
-      params.sigma = shape.sigma;
-      params.mu = shape.mu;
-      params.num_jobs = shape.num_jobs;
-      params.duration = shape.duration;
-      params.num_nodes = static_cast<std::uint32_t>(options.nodes);
-      params.seed = 7700 + static_cast<std::uint64_t>(100 * index + seed);
-      grid.traces.push_back(vrc::workload::generate_trace(params));
+      auto trace = vrc::workload::TraceSpec::standard(group, index);
+      trace.seed = 7700 + static_cast<std::uint64_t>(100 * index + seed);
+      spec.traces.push_back(trace);
     }
   }
-
-  vrc::runner::SweepRunner sweep(options.jobs);
-  const auto cells = sweep.run(grid);
+  const auto run = vrc::bench::run_scenario_or_die(spec, options.jobs);
 
   using vrc::util::Table;
   Table table({"trace shape", "exec red. mean", "exec red. min", "exec red. max",
@@ -55,8 +43,8 @@ int main(int argc, char** argv) {
       const std::size_t trace =
           static_cast<std::size_t>((index - options.trace_from) * seeds + seed);
       vrc::core::Comparison c;
-      c.baseline = cells[2 * trace].report;
-      c.ours = cells[2 * trace + 1].report;
+      c.baseline = run.cell(0, trace, 0).report;
+      c.ours = run.cell(0, trace, 1).report;
       exec_red.add(c.execution_reduction());
       queue_red.add(c.queue_reduction());
       slow_red.add(c.slowdown_reduction());
@@ -66,8 +54,7 @@ int main(int argc, char** argv) {
                    Table::pct(exec_red.max()), Table::pct(queue_red.mean()),
                    Table::pct(slow_red.mean())});
   }
-  std::printf("Seed robustness — %s group, %d seeds per shape, %d worker threads\n",
-              group_name.c_str(), seeds, sweep.jobs());
+  std::printf("Seed robustness — %s group, %d seeds per shape\n", group_name.c_str(), seeds);
   vrc::bench::emit(table, options);
   return 0;
 }

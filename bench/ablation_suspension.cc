@@ -35,25 +35,25 @@ int main(int argc, char** argv) {
 
   vrc::workload::WorkloadGroup group;
   if (!vrc::workload::parse_workload_group(group_name, &group)) return 1;
-  const auto config =
-      vrc::core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes));
   const vrc::Bytes big_threshold =
       group == vrc::workload::WorkloadGroup::kSpec ? vrc::megabytes(150) : vrc::megabytes(40);
+
+  vrc::runner::ScenarioSpec spec = vrc::bench::group_sweep_scenario(group, options);
+  spec.policies = {vrc::core::PolicySpec("g-loadsharing"), vrc::core::PolicySpec("suspension"),
+                   vrc::core::PolicySpec("v-reconf")};
+  const auto run = vrc::bench::run_scenario_or_die(spec, options.jobs);
 
   using vrc::util::Table;
   Table table({"trace", "policy", "T_exe (s)", "avg slowdown", "big-job slowdown",
                "suspensions"});
-  for (int index = options.trace_from; index <= options.trace_to; ++index) {
-    const auto trace = vrc::workload::standard_trace(group, index,
-                                                     static_cast<std::uint32_t>(options.nodes));
-    for (auto kind : {vrc::core::PolicyKind::kGLoadSharing, vrc::core::PolicyKind::kSuspension,
-                      vrc::core::PolicyKind::kVReconfiguration}) {
-      const auto report = vrc::core::run_policy_on_trace(kind, trace, config);
+  for (std::size_t t = 0; t < run.num_traces; ++t) {
+    for (std::size_t p = 0; p < run.num_policies; ++p) {
+      const auto& report = run.cell(0, t, p).report;
       double suspensions = 0.0;
       for (const auto& [key, value] : report.policy_stats) {
         if (key == "suspensions") suspensions = value;
       }
-      table.add_row({trace.name(), report.policy, Table::fmt(report.total_execution, 0),
+      table.add_row({report.trace, report.policy, Table::fmt(report.total_execution, 0),
                      Table::fmt(report.avg_slowdown),
                      Table::fmt(big_job_slowdown(report, big_threshold)),
                      Table::fmt(suspensions, 0)});

@@ -1,6 +1,7 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace vrc::bench {
 
@@ -25,29 +26,41 @@ bool parse_sweep_flags(int argc, const char* const* argv, SweepOptions* options,
   return true;
 }
 
+runner::ScenarioSpec group_sweep_scenario(workload::WorkloadGroup group,
+                                          const SweepOptions& options) {
+  runner::ScenarioSpec spec;
+  spec.cluster = group == workload::WorkloadGroup::kSpec ? "paper1" : "paper2";
+  spec.nodes = static_cast<std::size_t>(options.nodes);
+  spec.sampling_interval = options.sampling_interval;
+  spec.policies = {core::PolicySpec("g-loadsharing"), core::PolicySpec("v-reconf")};
+  for (int index = options.trace_from; index <= options.trace_to; ++index) {
+    spec.traces.push_back(workload::TraceSpec::standard(group, index));
+  }
+  return spec;
+}
+
+runner::ScenarioRun run_scenario_or_die(const runner::ScenarioSpec& spec, int jobs) {
+  std::string error;
+  std::optional<runner::ScenarioRun> run = runner::run_scenario(spec, jobs, &error);
+  if (!run) {
+    std::fprintf(stderr, "bench scenario error: %s\n", error.c_str());
+    std::abort();
+  }
+  return std::move(*run);
+}
+
 std::vector<SweepResult> run_group_sweep(workload::WorkloadGroup group,
                                          const SweepOptions& options) {
-  // All (trace x policy) cells run concurrently on the sweep runner; the
-  // grid enumeration is policy-fastest, so cells 2i / 2i+1 are the baseline
-  // and V-Reconfiguration runs of trace i.
-  runner::SweepGrid grid;
-  grid.configs = {core::paper_cluster_for(group, static_cast<std::size_t>(options.nodes))};
-  grid.policies = {core::PolicyKind::kGLoadSharing, core::PolicyKind::kVReconfiguration};
-  grid.experiment.collector.sampling_intervals = {options.sampling_interval};
-  for (int index = options.trace_from; index <= options.trace_to; ++index) {
-    grid.traces.push_back(
-        workload::standard_trace(group, index, static_cast<std::uint32_t>(options.nodes)));
-  }
-
-  runner::SweepRunner sweep(options.jobs);
-  const std::vector<runner::CellResult> cells = sweep.run(grid);
+  // All (trace x policy) cells run concurrently on the sweep runner.
+  const runner::ScenarioRun run =
+      run_scenario_or_die(group_sweep_scenario(group, options), options.jobs);
 
   std::vector<SweepResult> results;
-  for (std::size_t t = 0; t < grid.traces.size(); ++t) {
+  for (std::size_t t = 0; t < run.num_traces; ++t) {
     SweepResult result;
     result.trace_index = options.trace_from + static_cast<int>(t);
-    result.comparison.baseline = cells[2 * t].report;
-    result.comparison.ours = cells[2 * t + 1].report;
+    result.comparison.baseline = run.cell(0, t, 0).report;
+    result.comparison.ours = run.cell(0, t, 1).report;
     results.push_back(std::move(result));
   }
   return results;

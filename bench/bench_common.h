@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "runner/scenario.h"
 #include "runner/sweep_runner.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "workload/trace_generator.h"
+#include "workload/trace_spec.h"
 
 namespace vrc::bench {
 
@@ -34,6 +36,17 @@ struct SweepResult {
   int trace_index;
   core::Comparison comparison;
 };
+
+/// The declarative scenario behind run_group_sweep: standard traces
+/// [trace_from, trace_to] of `group`, G-Loadsharing vs V-Reconfiguration, on
+/// the paper's matching cluster. Ablation benches start from this spec and
+/// swap the policy list / trace axis before running it.
+runner::ScenarioSpec group_sweep_scenario(workload::WorkloadGroup group,
+                                          const SweepOptions& options);
+
+/// Runs a code-defined scenario on `jobs` workers; a scenario error aborts
+/// with the message (it is a bench bug, not user input).
+runner::ScenarioRun run_scenario_or_die(const runner::ScenarioSpec& spec, int jobs);
 
 /// Runs G-Loadsharing vs V-Reconfiguration on standard traces
 /// [trace_from, trace_to] of `group` on the paper's matching cluster.

@@ -1,18 +1,23 @@
 // Writing a custom scheduling policy against the public API.
 //
 // Implements "Random-Fit": each arriving job goes to a uniformly random
-// workstation that currently accepts work — a classic strawman — and races
-// it against the shipped policies on the same trace. Demonstrates the
+// workstation that currently accepts work — a classic strawman — registers
+// it in the PolicyRegistry, and races it against the shipped policies on the
+// same trace. Registration makes the policy addressable as the spec string
+// "random-fit:seed=7", exactly like the built-ins — scenario files and
+// vrc_run-style drivers in this process can name it too. Demonstrates the
 // SchedulerPolicy hooks, cluster operations, and per-policy statistics.
 //
 //   ./custom_policy [--jobs N] [--nodes N]
 #include <cstdio>
+#include <memory>
+#include <string>
 
 #include "core/experiment.h"
 #include "sim/rng.h"
 #include "util/flags.h"
 #include "util/table.h"
-#include "workload/trace_generator.h"
+#include "workload/trace_spec.h"
 
 using namespace vrc;
 
@@ -73,30 +78,45 @@ int main(int argc, char** argv) {
   flags.add_int("nodes", &nodes, "number of workstations");
   if (!flags.parse(argc, argv)) return 1;
 
-  workload::TraceParams params;
-  params.name = "custom-demo";
-  params.group = workload::WorkloadGroup::kSpec;
-  params.num_jobs = static_cast<std::size_t>(num_jobs);
-  params.duration = 1800.0;
-  params.num_nodes = static_cast<std::uint32_t>(nodes);
-  params.seed = 21;
-  const auto trace = workload::generate_trace(params);
+  // Register Random-Fit alongside the built-ins: the factory validates its
+  // params with a ParamReader, so "random-fit:sead=7" fails with the same
+  // precise diagnostics the shipped policies give.
+  core::PolicyRegistry::instance().register_policy(
+      "random-fit",
+      [](const core::PolicyParams& params,
+         std::string* error) -> std::unique_ptr<cluster::SchedulerPolicy> {
+        core::ParamReader reader("random-fit", params);
+        long long seed = 7;
+        reader.read_int64("seed", &seed);
+        if (!reader.finish(error)) return nullptr;
+        return std::make_unique<RandomFit>(static_cast<std::uint64_t>(seed));
+      },
+      {{"seed", "int", "7", "placement RNG seed"}});
+
+  workload::TraceSpec trace_spec;
+  trace_spec.group = workload::WorkloadGroup::kSpec;
+  trace_spec.num_jobs = static_cast<std::size_t>(num_jobs);
+  trace_spec.duration = 1800.0;
+  trace_spec.seed = 21;
+  trace_spec.name = "custom-demo";
+  const auto trace = trace_spec.build(static_cast<std::uint32_t>(nodes));
   const auto config = core::paper_cluster_for(trace.group(), static_cast<std::size_t>(nodes));
 
   using util::Table;
   Table table({"policy", "T_exe (s)", "avg slowdown", "p95 slowdown", "makespan (s)"});
 
-  RandomFit random_fit;
-  const auto random_report = core::run_experiment(trace, config, random_fit);
-  table.add_row({random_report.policy, Table::fmt(random_report.total_execution, 0),
-                 Table::fmt(random_report.avg_slowdown), Table::fmt(random_report.p95_slowdown),
-                 Table::fmt(random_report.makespan, 0)});
-
-  for (auto kind : {core::PolicyKind::kGLoadSharing, core::PolicyKind::kVReconfiguration}) {
-    const auto report = core::run_policy_on_trace(kind, trace, config);
-    table.add_row({report.policy, Table::fmt(report.total_execution, 0),
-                   Table::fmt(report.avg_slowdown), Table::fmt(report.p95_slowdown),
-                   Table::fmt(report.makespan, 0)});
+  for (const char* text : {"random-fit:seed=7", "g-loadsharing", "v-reconf"}) {
+    std::string error;
+    const auto spec = core::PolicySpec::parse(text, &error);
+    const auto report =
+        spec ? core::run_policy_on_trace(*spec, trace, config, {}, &error) : std::nullopt;
+    if (!report) {
+      std::fprintf(stderr, "custom_policy: %s\n", error.c_str());
+      return 1;
+    }
+    table.add_row({report->policy, Table::fmt(report->total_execution, 0),
+                   Table::fmt(report->avg_slowdown), Table::fmt(report->p95_slowdown),
+                   Table::fmt(report->makespan, 0)});
   }
   std::printf("Custom policy demo: %d jobs on %d workstations\n", num_jobs, nodes);
   std::fputs(table.to_ascii().c_str(), stdout);

@@ -7,11 +7,12 @@
 //   ./heterogeneous_cluster [--jobs N]
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "core/experiment.h"
 #include "util/flags.h"
 #include "util/table.h"
-#include "workload/trace_generator.h"
+#include "workload/trace_spec.h"
 
 using namespace vrc;
 
@@ -21,25 +22,30 @@ int main(int argc, char** argv) {
   flags.add_int("jobs", &num_jobs, "jobs to generate");
   if (!flags.parse(argc, argv)) return 1;
 
-  // 16 "big" workstations (400 MHz / 384 MB) and 16 older ones
-  // (233 MHz / 192 MB), reference speed 400 MHz.
-  cluster::ClusterConfig config;
-  config.reference_mhz = 400.0;
-  for (int i = 0; i < 16; ++i) {
-    config.nodes.push_back({400.0, megabytes(384), megabytes(380), megabytes(16)});
+  // 16 "big" workstations (400 MHz / 384 MB, the paper-cluster-1 hardware)
+  // and 16 older ones (233 MHz / 192 MB), declared as per-node config
+  // overrides — the same `node.<i>.<field>=value` text a scenario file uses.
+  cluster::ClusterConfig config = cluster::ClusterConfig::paper_cluster1(32);
+  std::map<std::string, std::string> overrides;
+  for (int i = 16; i < 32; ++i) {
+    const std::string prefix = "node." + std::to_string(i) + ".";
+    overrides[prefix + "cpu_mhz"] = "233";
+    overrides[prefix + "memory"] = "192MB";
+    overrides[prefix + "swap"] = "192MB";
   }
-  for (int i = 0; i < 16; ++i) {
-    config.nodes.push_back({233.0, megabytes(192), megabytes(192), megabytes(16)});
+  std::string error;
+  if (!config.apply_overrides(overrides, &error)) {
+    std::fprintf(stderr, "heterogeneous_cluster: %s\n", error.c_str());
+    return 1;
   }
 
-  workload::TraceParams params;
-  params.name = "hetero";
-  params.group = workload::WorkloadGroup::kSpec;
-  params.num_jobs = static_cast<std::size_t>(num_jobs);
-  params.duration = 1800.0;
-  params.num_nodes = 32;
-  params.seed = 11;
-  const auto trace = workload::generate_trace(params);
+  workload::TraceSpec trace_spec;
+  trace_spec.group = workload::WorkloadGroup::kSpec;
+  trace_spec.num_jobs = static_cast<std::size_t>(num_jobs);
+  trace_spec.duration = 1800.0;
+  trace_spec.seed = 11;
+  trace_spec.name = "hetero";
+  const auto trace = trace_spec.build(32);
 
   // Track where reserved service happens.
   class InstrumentedVRecon : public core::VReconfiguration {
@@ -52,9 +58,13 @@ int main(int argc, char** argv) {
     std::map<workload::NodeId, int> service_by_node;
   };
 
-  core::GLoadSharing baseline;
+  const auto baseline = core::make_policy(core::PolicySpec("g-loadsharing"), &error);
+  if (!baseline) {
+    std::fprintf(stderr, "heterogeneous_cluster: %s\n", error.c_str());
+    return 1;
+  }
   InstrumentedVRecon vrecon;
-  const auto base = core::run_experiment(trace, config, baseline);
+  const auto base = core::run_experiment(trace, config, *baseline);
   const auto ours = core::run_experiment(trace, config, vrecon);
 
   using util::Table;

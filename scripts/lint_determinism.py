@@ -7,8 +7,10 @@ fingerprint goldens catch a nondeterminism bug only after it lands; this
 linter rejects the usual sources at review time, before a seed-dependent
 heisendiff ever reaches the goldens.
 
-Scanned by default: src/sim, src/core, src/cluster, src/workload — the
-modules whose execution order feeds the event loop. Banned constructs:
+Scanned by default: src/sim, src/core, src/cluster, src/workload, and
+src/runner — the modules whose execution order feeds the event loop, plus
+the parallel sweep/scenario layer whose cell ordering and seed derivation
+must be reproducible. Banned constructs:
 
   wall-clock        std::chrono::{system,steady,high_resolution}_clock,
                     time(NULL)-style calls, clock(), gettimeofday(
@@ -39,7 +41,7 @@ why the construct cannot affect event order (e.g. "lookup-only, never
 iterated" is NOT sufficient for unordered containers — prefer std::map).
 
 Usage:
-  lint_determinism.py [--root DIR] [paths...]   # default: the four sim dirs
+  lint_determinism.py [--root DIR] [paths...]   # default: the five dirs above
   lint_determinism.py --self-test               # run the fixture self-test
 
 Exit status: 0 clean, 1 violations found, 2 internal/usage error.
@@ -51,7 +53,7 @@ import os
 import re
 import sys
 
-DEFAULT_PATHS = ["src/sim", "src/core", "src/cluster", "src/workload"]
+DEFAULT_PATHS = ["src/sim", "src/core", "src/cluster", "src/workload", "src/runner"]
 SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 
 NOLINT_RE = re.compile(r"//\s*NOLINT-determinism\((?P<reason>[^)]*)\)")

@@ -1,5 +1,8 @@
 #include "cluster/config.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 namespace vrc::cluster {
 
 ClusterConfig ClusterConfig::homogeneous(std::size_t count, const NodeConfig& node,
@@ -28,4 +31,263 @@ ClusterConfig ClusterConfig::paper_cluster2(std::size_t count) {
   return config;
 }
 
+namespace {
+
+// One override assignment attempt: false + a "expected <type>, e.g. <ex>"
+// fragment in *expected on a malformed value.
+bool set_double(const std::string& value, double* out, std::string* expected) {
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value.c_str(), &end);
+  if (value.empty() || errno != 0 || end == value.c_str() || *end != '\0') {
+    *expected = "double, e.g. 0.85";
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool set_int(const std::string& value, int* out, std::string* expected) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || errno != 0 || end == value.c_str() || *end != '\0') {
+    *expected = "int, e.g. 5";
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+bool set_uint64(const std::string& value, std::uint64_t* out, std::string* expected) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || errno != 0 || end == value.c_str() || *end != '\0' ||
+      value.front() == '-') {
+    *expected = "uint64, e.g. 42";
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool set_bool(const std::string& value, bool* out, std::string* expected) {
+  if (value == "1" || value == "true" || value == "on" || value == "yes") {
+    *out = true;
+    return true;
+  }
+  if (value == "0" || value == "false" || value == "off" || value == "no") {
+    *out = false;
+    return true;
+  }
+  *expected = "bool, e.g. 1";
+  return false;
+}
+
+bool set_bytes(const std::string& value, Bytes* out, std::string* expected) {
+  if (!parse_bytes(value, out)) {
+    *expected = "bytes with optional unit suffix, e.g. 128MB";
+    return false;
+  }
+  return true;
+}
+
+bool set_duration(const std::string& value, SimTime* out, std::string* expected) {
+  if (!parse_duration(value, out)) {
+    *expected = "duration with optional unit suffix, e.g. 10ms";
+    return false;
+  }
+  return true;
+}
+
+/// Applies one `node.<i>.<field>` / `node.*.<field>` override to `config`.
+bool apply_node_override(ClusterConfig& config, const std::string& key,
+                         const std::string& value, std::string* error) {
+  const std::string rest = key.substr(5);  // past "node."
+  const std::size_t dot = rest.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= rest.size()) {
+    *error = "config override '" + key +
+             "': per-node keys are node.<index>.<field> or node.*.<field> "
+             "(fields: cpu_mhz, memory, swap, kernel_reserved)";
+    return false;
+  }
+  const std::string index_text = rest.substr(0, dot);
+  const std::string field = rest.substr(dot + 1);
+
+  std::size_t first = 0;
+  std::size_t last = config.nodes.size();  // exclusive
+  if (index_text != "*") {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long index = std::strtoull(index_text.c_str(), &end, 10);
+    if (errno != 0 || end == index_text.c_str() || *end != '\0') {
+      *error = "config override '" + key + "': node index must be a number or '*'";
+      return false;
+    }
+    if (index >= config.nodes.size()) {
+      *error = "config override '" + key + "': node index " + index_text +
+               " out of range (cluster has " + std::to_string(config.nodes.size()) + " nodes)";
+      return false;
+    }
+    first = static_cast<std::size_t>(index);
+    last = first + 1;
+  }
+
+  std::string expected;
+  for (std::size_t i = first; i < last; ++i) {
+    NodeConfig& node = config.nodes[i];
+    bool ok = true;
+    if (field == "cpu_mhz") {
+      ok = set_double(value, &node.cpu_mhz, &expected);
+    } else if (field == "memory") {
+      ok = set_bytes(value, &node.memory, &expected);
+    } else if (field == "swap") {
+      ok = set_bytes(value, &node.swap, &expected);
+    } else if (field == "kernel_reserved") {
+      ok = set_bytes(value, &node.kernel_reserved, &expected);
+    } else {
+      *error = "config override '" + key + "': unknown node field '" + field +
+               "' (known fields: cpu_mhz, memory, swap, kernel_reserved)";
+      return false;
+    }
+    if (!ok) {
+      *error = "config override '" + key + "': invalid value '" + value + "' (expected " +
+               expected + ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ClusterConfig::apply_overrides(const std::map<std::string, std::string>& overrides,
+                                    std::string* error) {
+  std::string local_error;
+  std::string* err = error ? error : &local_error;
+  ClusterConfig updated = *this;
+
+  auto fail_value = [err](const std::string& key, const std::string& value,
+                          const std::string& expected) {
+    *err = "config override '" + key + "': invalid value '" + value + "' (expected " +
+           expected + ")";
+    return false;
+  };
+
+  // Scalar keys first (including a `nodes` resize), so per-node overrides in
+  // the same map always target the final node count.
+  for (const auto& [key, value] : overrides) {
+    if (key.rfind("node.", 0) == 0) continue;
+    std::string expected;
+    bool ok = true;
+    if (key == "nodes") {
+      int count = 0;
+      ok = set_int(value, &count, &expected);
+      if (ok && count <= 0) {
+        ok = false;
+        expected = "positive int, e.g. 32";
+      }
+      if (ok) {
+        if (updated.nodes.empty()) {
+          *err = "config override 'nodes': cannot resize a cluster with no node template";
+          return false;
+        }
+        updated.nodes.assign(static_cast<std::size_t>(count), updated.nodes[0]);
+      }
+    } else if (key == "reference_mhz") {
+      ok = set_double(value, &updated.reference_mhz, &expected);
+    } else if (key == "page_size") {
+      ok = set_bytes(value, &updated.page_size, &expected);
+    } else if (key == "page_fault_service") {
+      ok = set_duration(value, &updated.page_fault_service, &expected);
+    } else if (key == "context_switch") {
+      ok = set_duration(value, &updated.context_switch, &expected);
+    } else if (key == "quantum") {
+      ok = set_duration(value, &updated.quantum, &expected);
+    } else if (key == "tick") {
+      ok = set_duration(value, &updated.tick, &expected);
+    } else if (key == "network_mbps") {
+      ok = set_double(value, &updated.network_mbps, &expected);
+    } else if (key == "remote_submit_cost") {
+      ok = set_duration(value, &updated.remote_submit_cost, &expected);
+    } else if (key == "network_contention") {
+      ok = set_bool(value, &updated.network_contention, &expected);
+    } else if (key == "cpu_threshold") {
+      ok = set_int(value, &updated.cpu_threshold, &expected);
+    } else if (key == "memory_threshold") {
+      ok = set_double(value, &updated.memory_threshold, &expected);
+    } else if (key == "admission_demand_estimate") {
+      ok = set_bytes(value, &updated.admission_demand_estimate, &expected);
+    } else if (key == "fault_rate_threshold") {
+      ok = set_double(value, &updated.fault_rate_threshold, &expected);
+    } else if (key == "fault_rate_tau") {
+      ok = set_duration(value, &updated.fault_rate_tau, &expected);
+    } else if (key == "load_exchange_period") {
+      ok = set_duration(value, &updated.load_exchange_period, &expected);
+    } else if (key == "policy_period") {
+      ok = set_duration(value, &updated.policy_period, &expected);
+    } else if (key == "pressure_callback_interval") {
+      ok = set_duration(value, &updated.pressure_callback_interval, &expected);
+    } else if (key == "migration_cooldown") {
+      ok = set_duration(value, &updated.migration_cooldown, &expected);
+    } else if (key == "fault_exposure_knee") {
+      ok = set_double(value, &updated.fault_exposure_knee, &expected);
+    } else if (key == "stochastic_faults") {
+      ok = set_bool(value, &updated.stochastic_faults, &expected);
+    } else if (key == "seed") {
+      ok = set_uint64(value, &updated.seed, &expected);
+    } else {
+      std::string known;
+      for (const OverrideKeyDoc& doc : override_keys()) {
+        known += (known.empty() ? "" : ", ") + doc.key;
+      }
+      *err = "unknown config override '" + key + "' (known keys: " + known + ")";
+      return false;
+    }
+    if (!ok) return fail_value(key, value, expected);
+  }
+
+  for (const auto& [key, value] : overrides) {
+    if (key.rfind("node.", 0) != 0) continue;
+    if (!apply_node_override(updated, key, value, err)) return false;
+  }
+
+  *this = std::move(updated);
+  return true;
+}
+
+const std::vector<ClusterConfig::OverrideKeyDoc>& ClusterConfig::override_keys() {
+  static const std::vector<OverrideKeyDoc>* keys = new std::vector<OverrideKeyDoc>{
+      {"nodes", "int", "workstation count (replicates the first node's hardware)"},
+      {"reference_mhz", "double", "CPU speed the workload lifetimes were measured at"},
+      {"page_size", "bytes", "VM page size (paper: 4KB)"},
+      {"page_fault_service", "duration", "page-fault service time (paper: 10ms)"},
+      {"context_switch", "duration", "context-switch cost (paper: 0.1ms)"},
+      {"quantum", "duration", "round-robin quantum of the local scheduler"},
+      {"tick", "duration", "simulation tick (paper trace granularity: 10ms)"},
+      {"network_mbps", "double", "Ethernet bandwidth (paper: 10)"},
+      {"remote_submit_cost", "duration", "fixed remote submission cost r (paper: 0.1s)"},
+      {"network_contention", "bool", "serialize migrations on the shared segment"},
+      {"cpu_threshold", "int", "CPU threshold: max job slots per workstation"},
+      {"memory_threshold", "double", "memory threshold of [3], fraction of user memory"},
+      {"admission_demand_estimate", "bytes", "assumed demand of an unknown incoming job"},
+      {"fault_rate_threshold", "double", "page-fault rate (faults/s EMA) marking pressure"},
+      {"fault_rate_tau", "duration", "EMA time constant of the fault-rate monitor"},
+      {"load_exchange_period", "duration", "load-index exchange period"},
+      {"policy_period", "duration", "periodic policy pulse (pending retries, drains)"},
+      {"pressure_callback_interval", "duration", "min spacing of on_node_pressure per node"},
+      {"migration_cooldown", "duration", "min time between outgoing migrations per node"},
+      {"fault_exposure_knee", "double", "knee of the fault-exposure curve (DESIGN.md §5)"},
+      {"stochastic_faults", "bool", "Poisson-sample per-tick faults instead of expectation"},
+      {"seed", "uint64", "cluster-internal RNG seed (stochastic faults)"},
+      {"node.<i>.cpu_mhz", "double", "per-node CPU speed; <i> is an index or '*'"},
+      {"node.<i>.memory", "bytes", "per-node physical memory, e.g. node.3.memory=128MB"},
+      {"node.<i>.swap", "bytes", "per-node swap space"},
+      {"node.<i>.kernel_reserved", "bytes", "per-node kernel/daemon memory"},
+  };
+  return *keys;
+}
+
 }  // namespace vrc::cluster
+

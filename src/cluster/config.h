@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "util/units.h"
@@ -103,6 +105,30 @@ struct ClusterConfig {
 
   /// Paper testbed 2: 32 x (233 MHz, 128 MB, 128 MB swap) for the app group.
   static ClusterConfig paper_cluster2(std::size_t count = 32);
+
+  /// Applies text-form `key=value` overrides to this config — the cluster
+  /// half of a declarative scenario. Covers every §3.3.1 knob (see
+  /// override_keys()), with unit suffixes on memory ("128MB") and time
+  /// ("10ms") values, plus per-node heterogeneous overrides:
+  ///
+  ///   node.3.memory=128MB        one workstation
+  ///   node.*.cpu_mhz=233        every workstation
+  ///
+  /// Strict: an unknown key or malformed value fails with a precise message
+  /// (key, expected type, an example) and *this is left unmodified.
+  bool apply_overrides(const std::map<std::string, std::string>& overrides,
+                       std::string* error = nullptr);
+
+  /// Documentation for one override key (drives error text and DESIGN.md §9).
+  struct OverrideKeyDoc {
+    std::string key;
+    std::string type;  // "int" | "double" | "bool" | "uint64" | "bytes" | "duration"
+    std::string help;
+  };
+
+  /// Every key apply_overrides accepts, in a stable order. Per-node fields
+  /// are documented once under the "node.<i>." prefix.
+  static const std::vector<OverrideKeyDoc>& override_keys();
 };
 
 }  // namespace vrc::cluster

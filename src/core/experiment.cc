@@ -21,21 +21,41 @@ const char* to_string(PolicyKind kind) {
   return "?";
 }
 
-std::unique_ptr<cluster::SchedulerPolicy> make_policy(PolicyKind kind) {
+std::optional<std::string> registry_name(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kGLoadSharing:
-      return std::make_unique<GLoadSharing>();
+      return "g-loadsharing";
     case PolicyKind::kVReconfiguration:
-      return std::make_unique<VReconfiguration>();
+      return "v-reconf";
     case PolicyKind::kLocalOnly:
-      return std::make_unique<LocalOnly>();
+      return "local-only";
     case PolicyKind::kSuspension:
-      return std::make_unique<SuspensionPolicy>();
+      return "suspension";
     case PolicyKind::kOracleDemands:
-      return std::make_unique<OracleDemands>();
+      return "oracle";
   }
-  std::fprintf(stderr, "make_policy: unknown kind\n");
-  std::abort();
+  return std::nullopt;
+}
+
+PolicySpec to_spec(PolicyKind kind) {
+  const auto name = registry_name(kind);
+  return PolicySpec(name ? *name : "?");
+}
+
+std::unique_ptr<cluster::SchedulerPolicy> make_policy(PolicyKind kind, std::string* error) {
+  const auto name = registry_name(kind);
+  if (!name) {
+    if (error) {
+      std::string known;
+      for (const std::string& n : PolicyRegistry::instance().names()) {
+        known += (known.empty() ? "" : ", ") + n;
+      }
+      *error = "unknown PolicyKind value " + std::to_string(static_cast<int>(kind)) +
+               " (registered policies: " + known + ")";
+    }
+    return nullptr;
+  }
+  return make_policy(PolicySpec(*name), error);
 }
 
 metrics::RunReport run_experiment(const workload::Trace& trace,
@@ -56,7 +76,24 @@ metrics::RunReport run_experiment(const workload::Trace& trace,
 metrics::RunReport run_policy_on_trace(PolicyKind kind, const workload::Trace& trace,
                                        const cluster::ClusterConfig& config,
                                        const ExperimentOptions& options) {
-  std::unique_ptr<cluster::SchedulerPolicy> policy = make_policy(kind);
+  std::string error;
+  std::unique_ptr<cluster::SchedulerPolicy> policy = make_policy(kind, &error);
+  if (!policy) {
+    // Only reachable by casting an out-of-range integer to PolicyKind; the
+    // spec-based overload below reports such errors recoverably.
+    std::fprintf(stderr, "run_policy_on_trace: %s\n", error.c_str());
+    std::abort();
+  }
+  return run_experiment(trace, config, *policy, options);
+}
+
+std::optional<metrics::RunReport> run_policy_on_trace(const PolicySpec& spec,
+                                                      const workload::Trace& trace,
+                                                      const cluster::ClusterConfig& config,
+                                                      const ExperimentOptions& options,
+                                                      std::string* error) {
+  std::unique_ptr<cluster::SchedulerPolicy> policy = make_policy(spec, error);
+  if (!policy) return std::nullopt;
   return run_experiment(trace, config, *policy, options);
 }
 

@@ -3,7 +3,7 @@
 // This is the public entry point the examples and every bench binary use:
 //
 //   auto trace = workload::standard_trace(WorkloadGroup::kSpec, 3);
-//   auto report = core::run_policy_on_trace(core::PolicyKind::kVReconfiguration,
+//   auto report = core::run_policy_on_trace(core::PolicySpec("v-reconf"),
 //                                           trace, ClusterConfig::paper_cluster1());
 #pragma once
 
@@ -14,6 +14,7 @@
 #include "core/baselines.h"
 #include "core/g_load_sharing.h"
 #include "core/oracle.h"
+#include "core/policy_registry.h"
 #include "core/v_reconfiguration.h"
 #include "metrics/collector.h"
 #include "workload/trace.h"
@@ -21,6 +22,12 @@
 namespace vrc::core {
 
 /// The policies shipped with the library.
+///
+/// DEPRECATED: PolicyKind is a thin compatibility shim over the string-keyed
+/// PolicyRegistry (policy_registry.h). New code should name policies as
+/// PolicySpecs ("v-reconf:early_release=0"), which reach every option knob;
+/// the enum only covers default-option instantiations and will be removed
+/// once the remaining callers migrate.
 enum class PolicyKind {
   kGLoadSharing,      // baseline of [3]
   kVReconfiguration,  // the paper's contribution
@@ -31,8 +38,19 @@ enum class PolicyKind {
 
 const char* to_string(PolicyKind kind);
 
-/// Constructs a fresh policy instance of the given kind with default options.
-std::unique_ptr<cluster::SchedulerPolicy> make_policy(PolicyKind kind);
+/// Registry name of a kind ("g-loadsharing", "v-reconf", ...), usable as a
+/// PolicySpec name. Returns std::nullopt on an out-of-range kind.
+std::optional<std::string> registry_name(PolicyKind kind);
+
+/// The default-params PolicySpec equivalent of `kind`.
+PolicySpec to_spec(PolicyKind kind);
+
+/// Constructs a fresh policy instance of the given kind with default options
+/// by routing through the PolicyRegistry. On an out-of-range kind (a cast
+/// from a stale integer) returns nullptr and fills *error with the offending
+/// value and the registered policy names — it no longer aborts.
+std::unique_ptr<cluster::SchedulerPolicy> make_policy(PolicyKind kind,
+                                                      std::string* error = nullptr);
 
 /// Knobs for one experiment run.
 struct ExperimentOptions {
@@ -53,6 +71,15 @@ metrics::RunReport run_experiment(const workload::Trace& trace,
 metrics::RunReport run_policy_on_trace(PolicyKind kind, const workload::Trace& trace,
                                        const cluster::ClusterConfig& config,
                                        const ExperimentOptions& options = {});
+
+/// Convenience wrapper constructing the policy from a registry spec. Returns
+/// std::nullopt and fills *error when the spec names an unknown policy or
+/// carries bad params.
+std::optional<metrics::RunReport> run_policy_on_trace(const PolicySpec& spec,
+                                                      const workload::Trace& trace,
+                                                      const cluster::ClusterConfig& config,
+                                                      const ExperimentOptions& options = {},
+                                                      std::string* error = nullptr);
 
 /// The paper's testbed for a workload group: cluster 1 for the SPEC group,
 /// cluster 2 for the application group.

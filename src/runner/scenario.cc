@@ -1,0 +1,294 @@
+#include "runner/scenario.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/experiment.h"
+#include "util/units.h"
+
+namespace vrc::runner {
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+std::string trim(const std::string& text) {
+  const std::size_t first = text.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return "";
+  const std::size_t last = text.find_last_not_of(" \t\r");
+  return text.substr(first, last - first + 1);
+}
+
+bool parse_positive_int(const std::string& value, long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || end == value.c_str() || *end != '\0' || errno == ERANGE || parsed <= 0) {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+bool parse_uint64(const std::string& value, std::uint64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end == value.c_str() || *end != '\0' || errno == ERANGE ||
+      value.front() == '-') {
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+constexpr const char* kKnownDirectives =
+    "trace, policy, cluster, nodes, set, trials, base_seed, sampling_interval, max_sim_time";
+
+}  // namespace
+
+bool ScenarioSpec::apply_line(const std::string& raw, std::string* error) {
+  std::string line = raw;
+  const std::size_t hash = line.find('#');
+  if (hash != std::string::npos) line.erase(hash);
+  line = trim(line);
+  if (line.empty()) return true;
+
+  const std::size_t space = line.find_first_of(" \t");
+  const std::string directive = line.substr(0, space);
+  const std::string arg = space == std::string::npos ? "" : trim(line.substr(space + 1));
+  if (arg.empty()) {
+    return fail(error, "scenario directive '" + directive + "' needs an argument");
+  }
+
+  if (directive == "trace") {
+    std::optional<workload::TraceSpec> parsed = workload::TraceSpec::parse(arg, error);
+    if (!parsed) return false;
+    traces.push_back(std::move(*parsed));
+    return true;
+  }
+  if (directive == "policy") {
+    std::optional<core::PolicySpec> parsed = core::PolicySpec::parse(arg, error);
+    if (!parsed) return false;
+    policies.push_back(std::move(*parsed));
+    return true;
+  }
+  if (directive == "cluster") {
+    if (arg != "auto" && arg != "paper1" && arg != "paper2") {
+      return fail(error, "cluster '" + arg + "' unknown (expected auto, paper1, or paper2)");
+    }
+    cluster = arg;
+    return true;
+  }
+  if (directive == "nodes") {
+    long value = 0;
+    if (!parse_positive_int(arg, &value)) {
+      return fail(error, "nodes '" + arg + "' is not a positive int (e.g. nodes 32)");
+    }
+    nodes = static_cast<std::size_t>(value);
+    return true;
+  }
+  if (directive == "set") {
+    // One or more comma-separated key=value config overrides; a later `set`
+    // of the same key wins. Values are validated by apply_overrides when the
+    // scenario is materialized.
+    std::size_t start = 0;
+    while (start <= arg.size()) {
+      std::size_t end = arg.find(',', start);
+      if (end == std::string::npos) end = arg.size();
+      const std::string item = trim(arg.substr(start, end - start));
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return fail(error, "set '" + item + "' is not key=value (e.g. set memory_threshold=0.9)");
+      }
+      config_overrides[item.substr(0, eq)] = item.substr(eq + 1);
+      if (end == arg.size()) break;
+      start = end + 1;
+    }
+    return true;
+  }
+  if (directive == "trials") {
+    long value = 0;
+    if (!parse_positive_int(arg, &value)) {
+      return fail(error, "trials '" + arg + "' is not a positive int (e.g. trials 3)");
+    }
+    trials = static_cast<int>(value);
+    return true;
+  }
+  if (directive == "base_seed") {
+    std::uint64_t value = 0;
+    if (!parse_uint64(arg, &value)) {
+      return fail(error, "base_seed '" + arg + "' is not a uint64 (e.g. base_seed 7)");
+    }
+    base_seed = value;
+    return true;
+  }
+  if (directive == "sampling_interval") {
+    double value = 0.0;
+    if (!parse_duration(arg, &value) || value <= 0.0) {
+      return fail(error, "sampling_interval '" + arg +
+                             "' is not a positive duration (e.g. sampling_interval 10)");
+    }
+    sampling_interval = value;
+    return true;
+  }
+  if (directive == "max_sim_time") {
+    double value = 0.0;
+    if (!parse_duration(arg, &value) || value <= 0.0) {
+      return fail(error, "max_sim_time '" + arg +
+                             "' is not a positive duration (e.g. max_sim_time 500000)");
+    }
+    max_sim_time = value;
+    return true;
+  }
+  return fail(error, "unknown scenario directive '" + directive + "' (known directives: " +
+                         kKnownDirectives + ")");
+}
+
+bool ScenarioSpec::validate(std::string* error) const {
+  if (traces.empty()) return fail(error, "scenario has no traces (add a `trace ...` line)");
+  if (policies.empty()) return fail(error, "scenario has no policies (add a `policy ...` line)");
+  if (trials < 1) return fail(error, "trials must be >= 1");
+  if (nodes == 0) return fail(error, "nodes must be >= 1");
+  if (sampling_interval <= 0.0) return fail(error, "sampling_interval must be > 0");
+  if (max_sim_time <= 0.0) return fail(error, "max_sim_time must be > 0");
+  if (cluster != "auto" && cluster != "paper1" && cluster != "paper2") {
+    return fail(error, "cluster '" + cluster + "' unknown (expected auto, paper1, or paper2)");
+  }
+  for (const workload::TraceSpec& trace : traces) {
+    std::string nested;
+    if (!trace.validate(&nested)) {
+      return fail(error, "trace spec '" + trace.print() + "': " + nested);
+    }
+  }
+  return true;
+}
+
+std::optional<ScenarioSpec> ScenarioSpec::parse(const std::string& text, std::string* error) {
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string nested;
+    if (!spec.apply_line(line, &nested)) {
+      fail(error, "line " + std::to_string(line_number) + ": " + nested);
+      return std::nullopt;
+    }
+  }
+  std::string nested;
+  if (!spec.validate(&nested)) {
+    fail(error, nested);
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<ScenarioSpec> ScenarioSpec::load(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    fail(error, path + ": cannot open scenario file");
+    return std::nullopt;
+  }
+  std::ostringstream body;
+  body << in.rdbuf();
+  std::string nested;
+  std::optional<ScenarioSpec> spec = parse(body.str(), &nested);
+  if (!spec) {
+    fail(error, path + ": " + nested);
+    return std::nullopt;
+  }
+  return spec;
+}
+
+const CellResult& ScenarioRun::cell(int trial, std::size_t trace, std::size_t policy) const {
+  const std::size_t axis = static_cast<std::size_t>(trial) * num_traces + trace;
+  return cells[axis * num_policies + policy];
+}
+
+std::optional<SweepGrid> to_grid(const ScenarioSpec& spec, std::string* error) {
+  std::string nested;
+  if (!spec.validate(&nested)) {
+    fail(error, nested);
+    return std::nullopt;
+  }
+  for (const core::PolicySpec& policy : spec.policies) {
+    if (!core::make_policy(policy, &nested)) {
+      fail(error, nested);
+      return std::nullopt;
+    }
+  }
+
+  // Resolve the cluster. "auto" picks the paper testbed of the traces'
+  // workload group, which must therefore be unambiguous.
+  cluster::ClusterConfig config;
+  if (spec.cluster == "paper1") {
+    config = cluster::ClusterConfig::paper_cluster1(spec.nodes);
+  } else if (spec.cluster == "paper2") {
+    config = cluster::ClusterConfig::paper_cluster2(spec.nodes);
+  } else {
+    const workload::WorkloadGroup group = spec.traces.front().group;
+    for (const workload::TraceSpec& trace : spec.traces) {
+      if (trace.group != group) {
+        fail(error,
+             "cluster 'auto' needs all traces in one workload group; mixing spec and apps "
+             "traces requires an explicit `cluster paper1` or `cluster paper2`");
+        return std::nullopt;
+      }
+    }
+    config = core::paper_cluster_for(group, spec.nodes);
+  }
+  if (!config.apply_overrides(spec.config_overrides, &nested)) {
+    fail(error, nested);
+    return std::nullopt;
+  }
+
+  SweepGrid grid;
+  grid.configs = {std::move(config)};
+  grid.policies = spec.policies;
+  grid.base_seed = spec.base_seed;
+  grid.experiment.collector.sampling_intervals = {spec.sampling_interval};
+  grid.experiment.max_sim_time = spec.max_sim_time;
+
+  // Trial expansion on the trace axis, trial-major. Trial 0 is the trace
+  // exactly as specified (byte-identical to a trial-free run); trial t > 0
+  // regenerates it with the effective seed shifted by t.
+  const std::uint32_t default_nodes = static_cast<std::uint32_t>(spec.nodes);
+  for (int trial = 0; trial < spec.trials; ++trial) {
+    for (const workload::TraceSpec& base : spec.traces) {
+      workload::TraceSpec varied = base;
+      if (trial > 0) {
+        std::uint64_t effective = varied.seed;
+        if (effective == 0) {
+          effective = varied.standard_index > 0
+                          ? workload::standard_trace_seed(varied.group, varied.standard_index)
+                          : 1;
+        }
+        varied.seed = effective + static_cast<std::uint64_t>(trial);
+      }
+      grid.traces.push_back(varied.build(default_nodes));
+    }
+  }
+  return grid;
+}
+
+std::optional<ScenarioRun> run_scenario(const ScenarioSpec& spec, int jobs, std::string* error) {
+  std::optional<SweepGrid> grid = to_grid(spec, error);
+  if (!grid) return std::nullopt;
+
+  SweepRunner runner(jobs);
+  ScenarioRun run;
+  run.num_trials = spec.trials;
+  run.num_traces = spec.traces.size();
+  run.num_policies = spec.policies.size();
+  run.cells = runner.run(*grid);
+  return run;
+}
+
+}  // namespace vrc::runner

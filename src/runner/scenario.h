@@ -1,0 +1,105 @@
+// Declarative experiment scenarios.
+//
+// A ScenarioSpec is everything one sweep needs — traces, policies, cluster,
+// config overrides, trial count — as plain data, so any experiment the bench
+// binaries hard-coded in C++ is expressible from command-line flags or a
+// checked-in spec file:
+//
+//   trace spec:trace=3            # the paper's SPEC-Trace-3
+//   policy g-loadsharing
+//   policy v-reconf:early_release=0
+//   nodes 8
+//   set memory_threshold=0.9
+//   trials 3
+//
+//   auto spec = runner::ScenarioSpec::load("paper_cluster1.scn", &error);
+//   auto run = runner::run_scenario(*spec, /*jobs=*/0, &error);
+//
+// Determinism contract: a scenario naming today's defaults (standard trace,
+// default-param policies, trials=1, no overrides) produces byte-identical
+// reports to the legacy enum-based SweepGrid path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/policy_registry.h"
+#include "runner/sweep_runner.h"
+#include "workload/trace_spec.h"
+
+namespace vrc::runner {
+
+/// One complete declarative experiment.
+struct ScenarioSpec {
+  std::vector<workload::TraceSpec> traces;
+  std::vector<core::PolicySpec> policies;
+  /// "auto" (the paper testbed matching the traces' workload group),
+  /// "paper1", or "paper2".
+  std::string cluster = "auto";
+  /// Workstations in the cluster; also the default node count traces are
+  /// generated for (a trace's own nodes= override wins).
+  std::size_t nodes = 32;
+  /// cluster::ClusterConfig::apply_overrides key/value pairs, applied after
+  /// the base cluster is built (DESIGN.md §9 lists the keys).
+  std::map<std::string, std::string> config_overrides;
+  /// Independent repetitions. Trial 0 runs each trace exactly as specified;
+  /// trial t > 0 regenerates it with its effective seed shifted by t.
+  int trials = 1;
+  /// Folded into each cell's cluster seed via derive_seed (matched pairs:
+  /// policies of the same (trial, trace) share stochastic conditions).
+  std::uint64_t base_seed = 0;
+  /// Idle-memory / balance-skew sampling interval in seconds.
+  double sampling_interval = 1.0;
+  /// Safety cap on simulated time per cell.
+  double max_sim_time = 500000.0;
+
+  bool operator==(const ScenarioSpec&) const = default;
+
+  /// Applies one spec-file directive ("policy v-reconf:early_release=0",
+  /// "set memory_threshold=0.9", ...). Comments (#) and blank lines are
+  /// no-ops. Returns false + *error on an unknown directive or bad value.
+  bool apply_line(const std::string& line, std::string* error = nullptr);
+
+  /// Structural checks (non-empty axes, positive counts). Policy/override
+  /// values are validated against the registry/config when the scenario is
+  /// materialized by to_grid().
+  bool validate(std::string* error = nullptr) const;
+
+  /// Parses a whole spec file body (one directive per line). Errors are
+  /// prefixed with the 1-based line number.
+  static std::optional<ScenarioSpec> parse(const std::string& text,
+                                           std::string* error = nullptr);
+
+  /// Reads `path` and parses it. Errors are prefixed with the path.
+  static std::optional<ScenarioSpec> load(const std::string& path,
+                                          std::string* error = nullptr);
+};
+
+/// A completed scenario. Cells are indexed (trial, trace, policy); the
+/// flat `cells` vector is the SweepRunner grid order (trial-major trace
+/// axis, policy fastest).
+struct ScenarioRun {
+  int num_trials = 0;
+  std::size_t num_traces = 0;
+  std::size_t num_policies = 0;
+  std::vector<CellResult> cells;
+
+  const CellResult& cell(int trial, std::size_t trace, std::size_t policy) const;
+};
+
+/// Materializes the scenario into a SweepGrid: builds every trace (trial
+/// expansion on the trace axis), resolves the cluster, applies config
+/// overrides, and validates every policy spec against the registry. Returns
+/// std::nullopt + *error on any invalid piece — nothing throws, so drivers
+/// can report the message and exit cleanly.
+std::optional<SweepGrid> to_grid(const ScenarioSpec& spec, std::string* error = nullptr);
+
+/// to_grid + SweepRunner::run on `jobs` workers (0 = one per hardware
+/// thread).
+std::optional<ScenarioRun> run_scenario(const ScenarioSpec& spec, int jobs = 0,
+                                        std::string* error = nullptr);
+
+}  // namespace vrc::runner

@@ -1,5 +1,7 @@
 #include "runner/sweep_runner.h"
 
+#include <stdexcept>
+
 namespace vrc::runner {
 
 std::uint64_t splitmix64(std::uint64_t x) {
@@ -39,6 +41,13 @@ SweepRunner::SweepRunner(int jobs) : pool_(jobs) {}
 int SweepRunner::jobs() const { return pool_.jobs(); }
 
 std::vector<CellResult> SweepRunner::run(const SweepGrid& grid) {
+  // Validate every spec against the registry before dispatching anything:
+  // a typo'd policy name must not surface as a half-finished sweep.
+  for (const core::PolicySpec& spec : grid.policies) {
+    std::string error;
+    if (!core::make_policy(spec, &error)) throw std::invalid_argument(error);
+  }
+
   const std::size_t n = grid.traces.size() * grid.configs.size() * grid.policies.size();
   std::vector<CellResult> results(n);
   pool_.parallel_for(n, [&grid, &results](std::size_t index) {
@@ -56,9 +65,10 @@ std::vector<CellResult> SweepRunner::run(const SweepGrid& grid) {
     config.seed = derive_seed(grid.base_seed, pair);
     cell.seed = config.seed;
 
-    cell.report = core::run_policy_on_trace(grid.policies[cell.policy_index],
-                                            grid.traces[cell.trace_index], config,
-                                            grid.experiment);
+    // Specs were validated before dispatch, so creation cannot fail here.
+    cell.report = *core::run_policy_on_trace(grid.policies[cell.policy_index],
+                                             grid.traces[cell.trace_index], config,
+                                             grid.experiment);
   });
   return results;
 }

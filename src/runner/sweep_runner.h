@@ -10,8 +10,8 @@
 //   runner::SweepGrid grid;
 //   grid.traces = {trace1, trace2};
 //   grid.configs = {cluster::ClusterConfig::paper_cluster1()};
-//   grid.policies = {core::PolicyKind::kGLoadSharing,
-//                    core::PolicyKind::kVReconfiguration};
+//   grid.policies = {core::PolicySpec("g-loadsharing"),
+//                    core::PolicySpec::parse("v-reconf:early_release=0").value()};
 //   runner::SweepRunner runner(/*jobs=*/0);  // 0: one per hardware thread
 //   std::vector<runner::CellResult> cells = runner.run(grid);
 #pragma once
@@ -37,11 +37,13 @@ std::uint64_t splitmix64(std::uint64_t x);
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t cell_key);
 
 /// The cross product a sweep evaluates. Cells are enumerated row-major as
-/// (trace, config, policy), policy fastest.
+/// (trace, config, policy), policy fastest. Policies are registry specs
+/// (core::PolicySpec), so any registered policy with any param overrides can
+/// ride a sweep; core::to_spec() converts a legacy PolicyKind.
 struct SweepGrid {
   std::vector<workload::Trace> traces;
   std::vector<cluster::ClusterConfig> configs;
-  std::vector<core::PolicyKind> policies;
+  std::vector<core::PolicySpec> policies;
   core::ExperimentOptions experiment;
   /// Folded into every cell's ClusterConfig::seed via derive_seed. The cell
   /// key covers the (trace, config) pair only: all policies of a pair run
@@ -85,7 +87,10 @@ class SweepRunner {
   int jobs() const;
 
   /// Runs every cell of the grid. The returned vector is ordered by
-  /// cell_index (= the row-major grid enumeration).
+  /// cell_index (= the row-major grid enumeration). Every policy spec is
+  /// validated against the registry before any cell runs; an unknown policy
+  /// or bad param throws std::invalid_argument with the registry's message
+  /// (scenario drivers validate earlier and report recoverably).
   std::vector<CellResult> run(const SweepGrid& grid);
 
   /// Escape hatch for sweeps that are not a plain cross product (custom

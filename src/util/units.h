@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 
 namespace vrc {
 
@@ -32,5 +34,75 @@ constexpr SimTime milliseconds(double ms) { return ms / 1000.0; }
 
 /// Converts a megabit-per-second link speed to bytes per second.
 constexpr double mbps_to_bytes_per_sec(double mbps) { return mbps * 1e6 / 8.0; }
+
+namespace units_detail {
+
+/// Parses the leading number of `text`; on success stores the value and the
+/// remainder (the unit suffix, leading spaces stripped).
+inline bool split_number(const std::string& text, double* value, std::string* suffix) {
+  if (text.empty()) return false;
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const double parsed = std::strtod(begin, &end);
+  if (end == begin) return false;  // no digits at all
+  while (*end == ' ') ++end;
+  *value = parsed;
+  *suffix = std::string(end);
+  return true;
+}
+
+}  // namespace units_detail
+
+/// Parses a memory quantity with an optional unit suffix: "384MB", "4KB",
+/// "1.5GB", "128MiB", "65536" (plain bytes), "512B". Decimal and binary
+/// suffixes are synonyms (the codebase measures memory in binary units, per
+/// megabytes()). Returns false on malformed input or unknown suffixes;
+/// negative quantities are rejected.
+inline bool parse_bytes(const std::string& text, Bytes* out) {
+  double value = 0.0;
+  std::string suffix;
+  if (!units_detail::split_number(text, &value, &suffix)) return false;
+  if (value < 0.0) return false;
+  double scale = 1.0;
+  if (suffix.empty() || suffix == "B") {
+    scale = 1.0;
+  } else if (suffix == "KB" || suffix == "KiB" || suffix == "kB") {
+    scale = static_cast<double>(kKiB);
+  } else if (suffix == "MB" || suffix == "MiB") {
+    scale = static_cast<double>(kMiB);
+  } else if (suffix == "GB" || suffix == "GiB") {
+    scale = static_cast<double>(kGiB);
+  } else {
+    return false;
+  }
+  *out = static_cast<Bytes>(value * scale);
+  return true;
+}
+
+/// Parses a time quantity with an optional unit suffix: "10ms", "0.5s",
+/// "2min", "250us", "1.5" (plain seconds). Returns false on malformed input
+/// or unknown suffixes; negative durations are rejected.
+inline bool parse_duration(const std::string& text, SimTime* out) {
+  double value = 0.0;
+  std::string suffix;
+  if (!units_detail::split_number(text, &value, &suffix)) return false;
+  if (value < 0.0) return false;
+  double scale = 1.0;
+  if (suffix.empty() || suffix == "s" || suffix == "sec") {
+    scale = 1.0;
+  } else if (suffix == "ms") {
+    scale = 1e-3;
+  } else if (suffix == "us") {
+    scale = 1e-6;
+  } else if (suffix == "min" || suffix == "m") {
+    scale = 60.0;
+  } else if (suffix == "h") {
+    scale = 3600.0;
+  } else {
+    return false;
+  }
+  *out = value * scale;
+  return true;
+}
 
 }  // namespace vrc

@@ -117,10 +117,14 @@ Trace standard_trace(WorkloadGroup group, int index, std::uint32_t num_nodes) {
   params.num_nodes = num_nodes;
   // Deterministic per-(group, index) seed: the same trace is replayed for
   // every policy, mirroring the paper's collect-once-replay-everywhere setup.
-  params.seed = 0xC0FFEEULL * 31 +
-                static_cast<std::uint64_t>(group == WorkloadGroup::kSpec ? 1 : 2) * 1000 +
-                static_cast<std::uint64_t>(index);
+  params.seed = standard_trace_seed(group, index);
   return generate_trace(params);
+}
+
+std::uint64_t standard_trace_seed(WorkloadGroup group, int index) {
+  return 0xC0FFEEULL * 31 +
+         static_cast<std::uint64_t>(group == WorkloadGroup::kSpec ? 1 : 2) * 1000 +
+         static_cast<std::uint64_t>(index);
 }
 
 }  // namespace vrc::workload

@@ -62,6 +62,9 @@ Trace generate_trace(const TraceParams& params);
 /// trace is replayed identically across policies and runs.
 Trace standard_trace(WorkloadGroup group, int index, std::uint32_t num_nodes = 32);
 
+/// The deterministic per-(group, index) seed standard_trace generates with.
+std::uint64_t standard_trace_seed(WorkloadGroup group, int index);
+
 /// Arrival-time sampler used by the generator: draws from LogNormal(mu,
 /// sigma) conditioned on the value falling in (0, duration]. Exposed for
 /// testing the arrival process in isolation.

@@ -1,0 +1,207 @@
+#include "workload/trace_spec.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+namespace vrc::workload {
+
+TraceSpec TraceSpec::standard(WorkloadGroup group, int index) {
+  TraceSpec spec;
+  spec.group = group;
+  spec.standard_index = index;
+  return spec;
+}
+
+std::string TraceSpec::print() const {
+  std::ostringstream out;
+  out << to_string(group);
+  // Canonical key order; only non-default fields are emitted.
+  std::vector<std::pair<std::string, std::string>> items;
+  if (standard_index > 0) items.emplace_back("trace", std::to_string(standard_index));
+  if (num_jobs > 0) {
+    items.emplace_back("jobs", std::to_string(num_jobs));
+    std::ostringstream dur;
+    dur << duration;
+    items.emplace_back("duration", dur.str());
+  }
+  if (arrival_scale != 1.0) {
+    std::ostringstream scale;
+    scale << arrival_scale;
+    items.emplace_back("arrival_scale", scale.str());
+  }
+  if (seed != 0) items.emplace_back("seed", std::to_string(seed));
+  if (num_nodes != 0) items.emplace_back("nodes", std::to_string(num_nodes));
+  if (!name.empty()) items.emplace_back("name", name);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    out << (i == 0 ? ':' : ',') << items[i].first << '=' << items[i].second;
+  }
+  return out.str();
+}
+
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error) *error = message;
+  return false;
+}
+
+bool parse_key_values(const std::string& text, const std::string& whole,
+                      std::map<std::string, std::string>* out, std::string* error) {
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(start, end - start);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return fail(error,
+                  "trace spec '" + whole + "': param '" + item + "' is not key=value");
+    }
+    const std::string key = item.substr(0, eq);
+    if (out->count(key) != 0) {
+      return fail(error, "trace spec '" + whole + "': duplicate param '" + key + "'");
+    }
+    (*out)[key] = item.substr(eq + 1);
+    if (end == text.size()) break;
+    start = end + 1;
+  }
+  return true;
+}
+
+bool value_error(std::string* error, const std::string& whole, const std::string& key,
+                 const std::string& value, const std::string& type, const std::string& example) {
+  return fail(error, "trace spec '" + whole + "': invalid value '" + value + "' for '" + key +
+                         "' (expected " + type + ", e.g. " + key + "=" + example + ")");
+}
+
+}  // namespace
+
+std::optional<TraceSpec> TraceSpec::parse(const std::string& text, std::string* error) {
+  const std::size_t colon = text.find(':');
+  const std::string group_name = text.substr(0, colon);
+  TraceSpec spec;
+  if (!parse_workload_group(group_name, &spec.group)) {
+    fail(error, "trace spec '" + text + "': unknown workload group '" + group_name +
+                    "' (expected spec or apps)");
+    return std::nullopt;
+  }
+  std::map<std::string, std::string> params;
+  if (colon != std::string::npos) {
+    if (!parse_key_values(text.substr(colon + 1), text, &params, error)) return std::nullopt;
+  }
+
+  for (const auto& [key, value] : params) {
+    errno = 0;
+    char* end = nullptr;
+    if (key == "trace") {
+      const long index = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0') {
+        value_error(error, text, key, value, "int 1..5", "3");
+        return std::nullopt;
+      }
+      spec.standard_index = static_cast<int>(index);
+    } else if (key == "jobs") {
+      const long jobs = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || jobs <= 0) {
+        value_error(error, text, key, value, "positive int", "400");
+        return std::nullopt;
+      }
+      spec.num_jobs = static_cast<std::size_t>(jobs);
+    } else if (key == "duration") {
+      if (!parse_duration(value, &spec.duration) || spec.duration <= 0.0) {
+        value_error(error, text, key, value, "positive duration", "1800");
+        return std::nullopt;
+      }
+    } else if (key == "arrival_scale") {
+      const double scale = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == value.c_str() || *end != '\0' || scale <= 0.0) {
+        value_error(error, text, key, value, "positive double", "1.5");
+        return std::nullopt;
+      }
+      spec.arrival_scale = scale;
+    } else if (key == "seed") {
+      const unsigned long long seed = std::strtoull(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || value.front() == '-') {
+        value_error(error, text, key, value, "uint64", "9");
+        return std::nullopt;
+      }
+      spec.seed = seed;
+    } else if (key == "nodes") {
+      const long nodes = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || nodes <= 0) {
+        value_error(error, text, key, value, "positive int", "32");
+        return std::nullopt;
+      }
+      spec.num_nodes = static_cast<std::uint32_t>(nodes);
+    } else if (key == "name") {
+      if (value.empty()) {
+        value_error(error, text, key, value, "non-empty string", "my-trace");
+        return std::nullopt;
+      }
+      spec.name = value;
+    } else {
+      fail(error, "trace spec '" + text + "': unknown key '" + key +
+                      "' (known keys: trace, jobs, duration, arrival_scale, seed, nodes, name)");
+      return std::nullopt;
+    }
+  }
+
+  std::string semantic;
+  if (!spec.validate(&semantic)) {
+    fail(error, "trace spec '" + text + "': " + semantic);
+    return std::nullopt;
+  }
+  return spec;
+}
+
+bool TraceSpec::validate(std::string* error) const {
+  if (standard_index != 0 && num_jobs != 0) {
+    return fail(error, "trace= and jobs= are mutually exclusive");
+  }
+  if (standard_index == 0 && num_jobs == 0) {
+    return fail(error, "one of trace=1..5 or jobs=N is required");
+  }
+  if (standard_index != 0 && (standard_index < 1 || standard_index > 5)) {
+    return fail(error,
+                "trace index " + std::to_string(standard_index) + " out of range (1..5)");
+  }
+  return true;
+}
+
+Trace TraceSpec::build(std::uint32_t default_nodes) const {
+  const std::uint32_t nodes = num_nodes != 0 ? num_nodes : default_nodes;
+  if (standard_index > 0 && seed == 0 && arrival_scale == 1.0 && name.empty()) {
+    // The exact enum-era path: byte-identical standard traces.
+    return standard_trace(group, standard_index, nodes);
+  }
+
+  TraceParams params;
+  params.group = group;
+  params.num_nodes = nodes;
+  params.time_scale = 60.0 * arrival_scale;
+  if (standard_index > 0) {
+    const StandardTraceShape shape = standard_trace_shape(standard_index);
+    params.sigma = shape.sigma;
+    params.mu = shape.mu;
+    params.num_jobs = shape.num_jobs;
+    params.duration = shape.duration;
+    params.name = !name.empty()
+                      ? name
+                      : (group == WorkloadGroup::kSpec ? std::string("SPEC-Trace-")
+                                                       : std::string("App-Trace-")) +
+                            std::to_string(standard_index);
+    // Default to the standard replayed-trace seed so a seed-free spec stays
+    // the collect-once trace even when name/scale overrides force this path.
+    params.seed = seed != 0 ? seed : standard_trace_seed(group, standard_index);
+  } else {
+    params.num_jobs = num_jobs;
+    params.duration = duration;
+    params.name = !name.empty() ? name : "generated";
+    params.seed = seed != 0 ? seed : 1;
+  }
+  return generate_trace(params);
+}
+
+}  // namespace vrc::workload

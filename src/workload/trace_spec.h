@@ -1,0 +1,65 @@
+// Declarative trace description: the workload third of a scenario spec.
+//
+// A TraceSpec names either one of the paper's five published trace shapes
+// ("spec:trace=3") or a custom generated workload
+// ("apps:jobs=400,duration=1800,seed=9,arrival_scale=1.5") as text, and
+// builds the corresponding Trace. A spec that names a standard trace with no
+// overrides builds the byte-identical trace the enum-era
+// standard_trace(group, index) call produced.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "workload/trace.h"
+#include "workload/trace_generator.h"
+
+namespace vrc::workload {
+
+/// Text-describable recipe for one trace.
+///
+/// Text form: `<group>[:key=value,...]` with group `spec` or `apps` and keys
+///   trace          int 1..5: one of the published standard shapes
+///   jobs           int: custom workload size (mutually exclusive with trace)
+///   duration       duration: submission window of a custom workload
+///   arrival_scale  double: multiplies the 60 s arrival time unit (>1 =
+///                  slower arrivals, <1 = burstier)
+///   seed           uint64: trace-generation seed (0 = the per-(group,
+///                  index) default for standard shapes)
+///   nodes          int: home-node range; 0 = inherit the scenario's count
+///   name           string: trace name override
+struct TraceSpec {
+  WorkloadGroup group = WorkloadGroup::kSpec;
+  int standard_index = 0;      // 1..5 selects a published shape; 0 = custom
+  std::size_t num_jobs = 0;    // custom workloads only
+  SimTime duration = 1800.0;   // custom workloads only
+  double arrival_scale = 1.0;  // scales TraceParams::time_scale
+  std::uint64_t seed = 0;      // 0 = default seed
+  std::uint32_t num_nodes = 0; // 0 = inherit from the caller
+  std::string name;            // empty = derived name
+
+  bool operator==(const TraceSpec&) const = default;
+
+  /// A published standard trace: group + index, everything else default.
+  static TraceSpec standard(WorkloadGroup group, int index);
+
+  /// Canonical text form; parse(print(spec)) == spec.
+  std::string print() const;
+
+  /// Parses the text form. std::nullopt + *error on malformed text, unknown
+  /// keys, malformed values, or inconsistent combinations (trace and jobs
+  /// together, trace out of 1..5, neither given).
+  static std::optional<TraceSpec> parse(const std::string& text, std::string* error = nullptr);
+
+  /// Semantic validation for programmatically-built specs (parse() already
+  /// validates).
+  bool validate(std::string* error) const;
+
+  /// Builds the trace. `default_nodes` supplies the home-node range when the
+  /// spec does not pin one. A standard-index spec with default seed, scale,
+  /// and name reproduces standard_trace(group, index, nodes) exactly.
+  Trace build(std::uint32_t default_nodes = 32) const;
+};
+
+}  // namespace vrc::workload

@@ -1,0 +1,147 @@
+// ClusterConfig::apply_overrides: the declarative cluster half of a
+// scenario. Valid scalar and per-node overrides, unit-suffix parsing, the
+// precise error text on bad input, and the transactional guarantee that a
+// failed batch leaves the config untouched.
+#include "cluster/config.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace vrc::cluster {
+namespace {
+
+TEST(ApplyOverridesTest, ScalarKnobsCoverEveryType) {
+  ClusterConfig config = ClusterConfig::paper_cluster1(8);
+  std::string error;
+  ASSERT_TRUE(config.apply_overrides(
+      {
+          {"memory_threshold", "0.9"},
+          {"cpu_threshold", "3"},
+          {"network_contention", "true"},
+          {"seed", "2024"},
+          {"admission_demand_estimate", "18MB"},
+          {"quantum", "20ms"},
+      },
+      &error))
+      << error;
+  EXPECT_DOUBLE_EQ(config.memory_threshold, 0.9);
+  EXPECT_EQ(config.cpu_threshold, 3);
+  EXPECT_TRUE(config.network_contention);
+  EXPECT_EQ(config.seed, 2024u);
+  EXPECT_EQ(config.admission_demand_estimate, megabytes(18));
+  EXPECT_DOUBLE_EQ(config.quantum, 0.020);
+}
+
+TEST(ApplyOverridesTest, NodesResizeReplicatesTheFirstNode) {
+  ClusterConfig config = ClusterConfig::paper_cluster2(4);
+  ASSERT_TRUE(config.apply_overrides({{"nodes", "12"}}));
+  ASSERT_EQ(config.num_nodes(), 12u);
+  for (const NodeConfig& node : config.nodes) {
+    EXPECT_DOUBLE_EQ(node.cpu_mhz, 233.0);
+    EXPECT_EQ(node.memory, megabytes(128));
+  }
+}
+
+TEST(ApplyOverridesTest, PerNodeOverridesHitOneOrAllNodes) {
+  ClusterConfig config = ClusterConfig::paper_cluster1(4);
+  std::string error;
+  ASSERT_TRUE(config.apply_overrides(
+      {
+          {"node.3.memory", "128MB"},
+          {"node.3.cpu_mhz", "233"},
+          {"node.*.swap", "200MB"},
+      },
+      &error))
+      << error;
+  EXPECT_EQ(config.nodes[3].memory, megabytes(128));
+  EXPECT_DOUBLE_EQ(config.nodes[3].cpu_mhz, 233.0);
+  EXPECT_EQ(config.nodes[0].memory, megabytes(384));  // others untouched
+  for (const NodeConfig& node : config.nodes) EXPECT_EQ(node.swap, megabytes(200));
+}
+
+TEST(ApplyOverridesTest, NodesResizeAppliesBeforePerNodeKeys) {
+  // Map iteration visits "node.6..." before "nodes", but the resize must win
+  // the ordering: per-node overrides always target the final node count.
+  ClusterConfig config = ClusterConfig::paper_cluster1(2);
+  std::string error;
+  ASSERT_TRUE(config.apply_overrides({{"nodes", "8"}, {"node.6.cpu_mhz", "100"}}, &error))
+      << error;
+  ASSERT_EQ(config.num_nodes(), 8u);
+  EXPECT_DOUBLE_EQ(config.nodes[6].cpu_mhz, 100.0);
+}
+
+TEST(ApplyOverridesTest, UnknownKeyListsKnownKeys) {
+  ClusterConfig config = ClusterConfig::paper_cluster1(2);
+  std::string error;
+  EXPECT_FALSE(config.apply_overrides({{"turbo_mode", "1"}}, &error));
+  EXPECT_NE(error.find("unknown config override 'turbo_mode'"), std::string::npos) << error;
+  EXPECT_NE(error.find("memory_threshold"), std::string::npos) << error;
+  EXPECT_NE(error.find("node.<i>.memory"), std::string::npos) << error;
+}
+
+TEST(ApplyOverridesTest, MalformedValueNamesKeyTypeAndExample) {
+  ClusterConfig config = ClusterConfig::paper_cluster1(2);
+  std::string error;
+  EXPECT_FALSE(config.apply_overrides({{"memory_threshold", "most"}}, &error));
+  EXPECT_NE(error.find("config override 'memory_threshold'"), std::string::npos) << error;
+  EXPECT_NE(error.find("invalid value 'most'"), std::string::npos) << error;
+  EXPECT_NE(error.find("expected double, e.g. 0.85"), std::string::npos) << error;
+
+  EXPECT_FALSE(config.apply_overrides({{"quantum", "fast"}}, &error));
+  EXPECT_NE(error.find("expected duration"), std::string::npos) << error;
+  EXPECT_FALSE(config.apply_overrides({{"network_contention", "maybe"}}, &error));
+  EXPECT_NE(error.find("expected bool"), std::string::npos) << error;
+  EXPECT_FALSE(config.apply_overrides({{"node.0.memory", "lots"}}, &error));
+  EXPECT_NE(error.find("expected bytes"), std::string::npos) << error;
+  EXPECT_FALSE(config.apply_overrides({{"nodes", "0"}}, &error));
+  EXPECT_NE(error.find("positive int"), std::string::npos) << error;
+}
+
+TEST(ApplyOverridesTest, BadNodeKeysAreRejectedPrecisely) {
+  ClusterConfig config = ClusterConfig::paper_cluster1(4);
+  std::string error;
+  EXPECT_FALSE(config.apply_overrides({{"node.9.memory", "128MB"}}, &error));
+  EXPECT_NE(error.find("node index 9 out of range (cluster has 4 nodes)"), std::string::npos)
+      << error;
+  EXPECT_FALSE(config.apply_overrides({{"node.two.memory", "128MB"}}, &error));
+  EXPECT_NE(error.find("node index must be a number or '*'"), std::string::npos) << error;
+  EXPECT_FALSE(config.apply_overrides({{"node.memory", "128MB"}}, &error));
+  EXPECT_NE(error.find("node.<index>.<field>"), std::string::npos) << error;
+  EXPECT_FALSE(config.apply_overrides({{"node.0.ram", "128MB"}}, &error));
+  EXPECT_NE(error.find("unknown node field 'ram'"), std::string::npos) << error;
+  EXPECT_NE(error.find("cpu_mhz, memory, swap, kernel_reserved"), std::string::npos) << error;
+}
+
+TEST(ApplyOverridesTest, FailedBatchLeavesConfigUntouched) {
+  const ClusterConfig before = ClusterConfig::paper_cluster1(4);
+  ClusterConfig config = before;
+  std::string error;
+  // The valid assignments sort before the bad one; none may stick.
+  EXPECT_FALSE(config.apply_overrides(
+      {{"cpu_threshold", "2"}, {"node.1.memory", "64MB"}, {"zzz_bogus", "1"}}, &error));
+  EXPECT_EQ(config.cpu_threshold, before.cpu_threshold);
+  EXPECT_EQ(config.nodes[1].memory, before.nodes[1].memory);
+  EXPECT_EQ(config.num_nodes(), before.num_nodes());
+}
+
+TEST(ApplyOverridesTest, OverrideKeyDocsMatchAcceptedKeys) {
+  // Every documented scalar key must be accepted with a sample value of its
+  // type, so DESIGN.md §9 cannot drift from the implementation.
+  const std::map<std::string, std::string> sample = {
+      {"int", "4"},        {"double", "1.5"},   {"bool", "1"},
+      {"uint64", "7"},     {"bytes", "64MB"},   {"duration", "10ms"},
+  };
+  for (const auto& doc : ClusterConfig::override_keys()) {
+    if (doc.key.rfind("node.", 0) == 0) continue;  // documented as a pattern
+    ClusterConfig config = ClusterConfig::paper_cluster1(2);
+    std::string error;
+    ASSERT_EQ(sample.count(doc.type), 1u) << doc.key << " has unknown type " << doc.type;
+    EXPECT_TRUE(config.apply_overrides({{doc.key, sample.at(doc.type)}}, &error))
+        << doc.key << ": " << error;
+  }
+}
+
+}  // namespace
+}  // namespace vrc::cluster

@@ -1,0 +1,75 @@
+// Shared bit-exact report fingerprint for determinism tests.
+//
+// Hashes every completed-job record (ids, nodes, and the raw bit patterns of
+// all accounting doubles) plus the report aggregates into one FNV-1a value.
+// Any change to event ordering, tick accounting, or policy decisions shifts
+// the fingerprint, so goldens over this hash pin byte-identical behavior.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "metrics/report.h"
+
+namespace vrc::testutil {
+
+class Fnv1a {
+ public:
+  void mix_u64(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (value >> (8 * i)) & 0xffu;
+      hash_ *= 1099511628211ull;
+    }
+  }
+
+  void mix_double(double value) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix_u64(bits);
+  }
+
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+inline std::uint64_t fingerprint(const metrics::RunReport& report) {
+  Fnv1a h;
+  h.mix_u64(report.jobs_submitted);
+  h.mix_u64(report.jobs_completed);
+  h.mix_double(report.makespan);
+  h.mix_double(report.total_execution);
+  h.mix_double(report.total_cpu);
+  h.mix_double(report.total_page);
+  h.mix_double(report.total_queue);
+  h.mix_double(report.total_migration);
+  h.mix_double(report.total_faults);
+  h.mix_u64(report.migrations);
+  h.mix_u64(report.remote_submits);
+  h.mix_u64(report.local_placements);
+  for (const cluster::CompletedJob& job : report.jobs) {
+    h.mix_u64(job.id);
+    h.mix_u64(job.final_node);
+    h.mix_u64(static_cast<std::uint64_t>(job.migrations));
+    h.mix_u64(static_cast<std::uint64_t>(job.remote_submits));
+    h.mix_double(job.submit_time);
+    h.mix_double(job.completion_time);
+    h.mix_double(job.cpu_seconds);
+    h.mix_double(job.t_cpu);
+    h.mix_double(job.t_page);
+    h.mix_double(job.t_queue);
+    h.mix_double(job.t_mig);
+    h.mix_double(job.faults);
+  }
+  return h.value();
+}
+
+// Goldens captured from the pre-event-core-rewrite engine (commit ff28ab2)
+// for the fig1-style fingerprint run: 120 SPEC-group jobs, 900 s window,
+// 8 nodes, trace seed 7, paper cluster 1.
+inline constexpr std::uint64_t kGLoadSharingGolden = 0x1e9ff04e3355e032ull;
+inline constexpr std::uint64_t kVReconfigurationGolden = 0xb6c978dcbf3d694cull;
+
+}  // namespace vrc::testutil

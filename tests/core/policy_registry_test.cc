@@ -1,0 +1,175 @@
+// The string-keyed policy registry: spec parse/print round-trips, alias
+// resolution, param validation, and the precise error text the declarative
+// scenario layer relies on.
+#include "core/policy_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.h"
+
+namespace vrc::core {
+namespace {
+
+TEST(PolicySpecTest, PrintsCanonicalSortedForm) {
+  PolicySpec spec("v-reconf", {{"max_reservations", "2"}, {"early_release", "0"}});
+  EXPECT_EQ(spec.print(), "v-reconf:early_release=0,max_reservations=2");
+  EXPECT_EQ(PolicySpec("g-loadsharing").print(), "g-loadsharing");
+}
+
+TEST(PolicySpecTest, ParsePrintRoundTripsForEveryRegisteredPolicyAndParam) {
+  // Every registered policy, bare...
+  for (const std::string& name : PolicyRegistry::instance().names()) {
+    const PolicySpec spec(name);
+    const auto reparsed = PolicySpec::parse(spec.print());
+    ASSERT_TRUE(reparsed.has_value()) << name;
+    EXPECT_EQ(*reparsed, spec) << name;
+
+    // ...and with every documented param pinned to its printed default, both
+    // one at a time and all at once. The defaults in the docs must also be
+    // values the factory accepts.
+    const auto* docs = PolicyRegistry::instance().param_docs(name);
+    ASSERT_NE(docs, nullptr) << name;
+    PolicySpec all(name);
+    for (const PolicyParamDoc& doc : *docs) {
+      PolicySpec single(name, {{doc.key, doc.default_value}});
+      const auto single_reparsed = PolicySpec::parse(single.print());
+      ASSERT_TRUE(single_reparsed.has_value()) << single.print();
+      EXPECT_EQ(*single_reparsed, single);
+      all.params[doc.key] = doc.default_value;
+    }
+    const auto all_reparsed = PolicySpec::parse(all.print());
+    ASSERT_TRUE(all_reparsed.has_value()) << all.print();
+    EXPECT_EQ(*all_reparsed, all);
+
+    std::string error;
+    EXPECT_NE(make_policy(all, &error), nullptr)
+        << all.print() << " rejected its own documented defaults: " << error;
+  }
+}
+
+TEST(PolicySpecTest, ParseRejectsMalformedText) {
+  std::string error;
+  EXPECT_FALSE(PolicySpec::parse("", &error).has_value());
+  EXPECT_NE(error.find("empty policy name"), std::string::npos);
+  EXPECT_FALSE(PolicySpec::parse(":early_release=0", &error).has_value());
+  EXPECT_FALSE(PolicySpec::parse("v-reconf:", &error).has_value());
+  EXPECT_FALSE(PolicySpec::parse("v-reconf:early_release", &error).has_value());
+  EXPECT_NE(error.find("key=value"), std::string::npos);
+  EXPECT_FALSE(PolicySpec::parse("v-reconf:=1", &error).has_value());
+  EXPECT_NE(error.find("empty param key"), std::string::npos);
+  EXPECT_FALSE(PolicySpec::parse("v-reconf:a=1,a=2", &error).has_value());
+  EXPECT_NE(error.find("duplicate param 'a'"), std::string::npos);
+}
+
+TEST(PolicyRegistryTest, EveryRegisteredPolicyConstructsWithDefaults) {
+  for (const std::string& name : PolicyRegistry::instance().names()) {
+    std::string error;
+    const auto policy = make_policy(PolicySpec(name), &error);
+    ASSERT_NE(policy, nullptr) << name << ": " << error;
+    EXPECT_STRNE(policy->name(), "") << name;
+  }
+}
+
+TEST(PolicyRegistryTest, AliasesResolveToCanonicalNames) {
+  auto& registry = PolicyRegistry::instance();
+  EXPECT_EQ(registry.canonical_name("gls"), "g-loadsharing");
+  EXPECT_EQ(registry.canonical_name("vrecon"), "v-reconf");
+  EXPECT_EQ(registry.canonical_name("v-reconfiguration"), "v-reconf");
+  EXPECT_EQ(registry.canonical_name("local"), "local-only");
+  EXPECT_EQ(registry.canonical_name("suspend"), "suspension");
+  EXPECT_EQ(registry.canonical_name("oracle-demands"), "oracle");
+  EXPECT_FALSE(registry.canonical_name("first-fit").has_value());
+  EXPECT_TRUE(registry.contains("gls"));
+
+  std::string error;
+  const auto via_alias = make_policy(PolicySpec("vrecon", {{"early_release", "0"}}), &error);
+  ASSERT_NE(via_alias, nullptr) << error;
+}
+
+TEST(PolicyRegistryTest, UnknownPolicyErrorListsRegisteredNames) {
+  std::string error;
+  EXPECT_EQ(make_policy(PolicySpec("no-such-policy"), &error), nullptr);
+  EXPECT_NE(error.find("unknown policy 'no-such-policy'"), std::string::npos) << error;
+  for (const std::string& name : PolicyRegistry::instance().names()) {
+    EXPECT_NE(error.find(name), std::string::npos) << error;
+  }
+}
+
+TEST(PolicyRegistryTest, UnknownParamErrorNamesTheKeyAndKnownParams) {
+  std::string error;
+  EXPECT_EQ(make_policy(PolicySpec("v-reconf", {{"bogus", "1"}}), &error), nullptr);
+  EXPECT_NE(error.find("unknown param 'bogus'"), std::string::npos) << error;
+  EXPECT_NE(error.find("early_release"), std::string::npos) << error;
+
+  // A policy with no params says so instead of listing an empty set.
+  EXPECT_EQ(make_policy(PolicySpec("local-only", {{"x", "1"}}), &error), nullptr);
+  EXPECT_NE(error.find("policy takes no params"), std::string::npos) << error;
+}
+
+TEST(PolicyRegistryTest, MalformedValueErrorGivesTypeAndExample) {
+  std::string error;
+  EXPECT_EQ(make_policy(PolicySpec("v-reconf", {{"early_release", "maybe"}}), &error), nullptr);
+  EXPECT_NE(error.find("invalid value 'maybe' for param 'early_release'"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("expected bool"), std::string::npos) << error;
+
+  EXPECT_EQ(make_policy(PolicySpec("v-reconf", {{"max_reservations", "many"}}), &error),
+            nullptr);
+  EXPECT_NE(error.find("expected int"), std::string::npos) << error;
+
+  EXPECT_EQ(make_policy(PolicySpec("v-reconf", {{"reserve_timeout", "2 fortnights"}}), &error),
+            nullptr);
+  EXPECT_NE(error.find("expected duration"), std::string::npos) << error;
+}
+
+TEST(PolicyRegistryTest, DurationParamsAcceptUnitSuffixes) {
+  std::string error;
+  EXPECT_NE(make_policy(PolicySpec("v-reconf", {{"reserve_timeout", "2min"},
+                                                {"blocking_resolve_timeout", "500ms"}}),
+                        &error),
+            nullptr)
+      << error;
+}
+
+TEST(PolicyRegistryTest, CustomRegistrationIsCreatableLikeBuiltins) {
+  auto& registry = PolicyRegistry::instance();
+  registry.register_policy(
+      "test-stub",
+      [](const PolicyParams& params, std::string* error)
+          -> std::unique_ptr<cluster::SchedulerPolicy> {
+        ParamReader reader("test-stub", params);
+        if (!reader.finish(error)) return nullptr;
+        return make_policy(PolicySpec("local-only"), error);
+      },
+      {}, {"stub"});
+  EXPECT_TRUE(registry.contains("test-stub"));
+  EXPECT_EQ(registry.canonical_name("stub"), "test-stub");
+  std::string error;
+  EXPECT_NE(make_policy(PolicySpec("stub"), &error), nullptr) << error;
+}
+
+TEST(PolicyKindShimTest, EveryKindMapsToARegisteredSpec) {
+  for (auto kind : {PolicyKind::kGLoadSharing, PolicyKind::kVReconfiguration,
+                    PolicyKind::kLocalOnly, PolicyKind::kSuspension,
+                    PolicyKind::kOracleDemands}) {
+    const auto name = registry_name(kind);
+    ASSERT_TRUE(name.has_value());
+    EXPECT_TRUE(PolicyRegistry::instance().contains(*name));
+    EXPECT_EQ(to_spec(kind).name, *name);
+    std::string error;
+    EXPECT_NE(make_policy(kind, &error), nullptr) << error;
+  }
+}
+
+TEST(PolicyKindShimTest, OutOfRangeKindReturnsErrorInsteadOfAborting) {
+  std::string error;
+  const auto policy = make_policy(static_cast<PolicyKind>(999), &error);
+  EXPECT_EQ(policy, nullptr);
+  EXPECT_NE(error.find("999"), std::string::npos) << error;
+  EXPECT_NE(error.find("g-loadsharing"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace vrc::core

@@ -47,7 +47,7 @@ TEST(HeterogeneousClusterTest, MixedMemoryNodesStillCompleteEverything) {
   runner::SweepGrid grid;
   grid.traces = {small_trace(102)};
   grid.configs = {config};
-  grid.policies = {core::PolicyKind::kGLoadSharing, core::PolicyKind::kVReconfiguration};
+  grid.policies = {core::PolicySpec("g-loadsharing"), core::PolicySpec("v-reconf")};
   runner::SweepRunner sweep(2);
   for (const auto& cell : sweep.run(grid)) {
     const auto& report = cell.report;

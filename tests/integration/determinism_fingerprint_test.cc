@@ -1,17 +1,16 @@
 // Bit-exact determinism fingerprints for fig1-style runs.
 //
-// Hashes every completed-job record (ids, nodes, and the raw bit patterns of
-// all accounting doubles) plus the report aggregates into one FNV-1a value
-// and compares it against goldens captured before the event-core rewrite
-// (commit ff28ab2, std::priority_queue + unordered_map simulator and
+// Compares the shared FNV-1a report fingerprint (tests/common/
+// report_fingerprint.h) against goldens captured before the event-core
+// rewrite (commit ff28ab2, std::priority_queue + unordered_map simulator and
 // scan-based workstation aggregates). Any change to event ordering, tick
 // accounting, or policy decisions shifts the fingerprint: engine
-// optimizations must keep these runs bit-identical.
+// optimizations must keep these runs bit-identical. The scenario-layer
+// equivalence tests (tests/runner/scenario_test.cc) hold the declarative
+// spec path to the same goldens.
 #include <gtest/gtest.h>
 
-#include <cstdint>
-#include <cstring>
-
+#include "../common/report_fingerprint.h"
 #include "core/experiment.h"
 #include "metrics/report.h"
 #include "workload/trace_generator.h"
@@ -19,58 +18,9 @@
 namespace vrc {
 namespace {
 
-class Fnv1a {
- public:
-  void mix_u64(std::uint64_t value) {
-    for (int i = 0; i < 8; ++i) {
-      hash_ ^= (value >> (8 * i)) & 0xffu;
-      hash_ *= 1099511628211ull;
-    }
-  }
-
-  void mix_double(double value) {
-    std::uint64_t bits = 0;
-    static_assert(sizeof(bits) == sizeof(value));
-    std::memcpy(&bits, &value, sizeof(bits));
-    mix_u64(bits);
-  }
-
-  std::uint64_t value() const { return hash_; }
-
- private:
-  std::uint64_t hash_ = 14695981039346656037ull;
-};
-
-std::uint64_t fingerprint(const metrics::RunReport& report) {
-  Fnv1a h;
-  h.mix_u64(report.jobs_submitted);
-  h.mix_u64(report.jobs_completed);
-  h.mix_double(report.makespan);
-  h.mix_double(report.total_execution);
-  h.mix_double(report.total_cpu);
-  h.mix_double(report.total_page);
-  h.mix_double(report.total_queue);
-  h.mix_double(report.total_migration);
-  h.mix_double(report.total_faults);
-  h.mix_u64(report.migrations);
-  h.mix_u64(report.remote_submits);
-  h.mix_u64(report.local_placements);
-  for (const cluster::CompletedJob& job : report.jobs) {
-    h.mix_u64(job.id);
-    h.mix_u64(job.final_node);
-    h.mix_u64(static_cast<std::uint64_t>(job.migrations));
-    h.mix_u64(static_cast<std::uint64_t>(job.remote_submits));
-    h.mix_double(job.submit_time);
-    h.mix_double(job.completion_time);
-    h.mix_double(job.cpu_seconds);
-    h.mix_double(job.t_cpu);
-    h.mix_double(job.t_page);
-    h.mix_double(job.t_queue);
-    h.mix_double(job.t_mig);
-    h.mix_double(job.faults);
-  }
-  return h.value();
-}
+using testutil::fingerprint;
+using testutil::kGLoadSharingGolden;
+using testutil::kVReconfigurationGolden;
 
 metrics::RunReport run_fig1_style(core::PolicyKind kind) {
   workload::TraceParams params;
@@ -84,10 +34,6 @@ metrics::RunReport run_fig1_style(core::PolicyKind kind) {
   const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
   return core::run_policy_on_trace(kind, trace, config);
 }
-
-// Goldens captured from the pre-rewrite engine; see file comment.
-constexpr std::uint64_t kGLoadSharingGolden = 0x1e9ff04e3355e032ull;
-constexpr std::uint64_t kVReconfigurationGolden = 0xb6c978dcbf3d694cull;
 
 TEST(DeterminismFingerprintTest, GLoadSharingMatchesPreRewriteEngine) {
   const auto report = run_fig1_style(core::PolicyKind::kGLoadSharing);

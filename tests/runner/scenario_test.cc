@@ -1,0 +1,224 @@
+// The declarative scenario layer: spec-file parsing, precise error text, and
+// the headline determinism contract — a ScenarioSpec naming today's defaults
+// produces byte-identical reports to the legacy enum-based path (held to the
+// same FNV-1a goldens as tests/integration/determinism_fingerprint_test.cc).
+#include "runner/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../common/report_fingerprint.h"
+#include "core/experiment.h"
+#include "workload/trace_generator.h"
+
+namespace vrc::runner {
+namespace {
+
+using testutil::fingerprint;
+using testutil::kGLoadSharingGolden;
+using testutil::kVReconfigurationGolden;
+
+TEST(ScenarioSpecTest, ParsesAFullSpecFileBody) {
+  const std::string text =
+      "# paper cluster 1, heavier memory pressure\n"
+      "cluster paper1\n"
+      "nodes 8\n"
+      "trace spec:trace=2\n"
+      "trace spec:jobs=60,duration=600,seed=5   # inline comment\n"
+      "policy g-loadsharing\n"
+      "policy v-reconf:early_release=0,max_reservations=2\n"
+      "set memory_threshold=0.9,cpu_threshold=4\n"
+      "set node.3.memory=128MB\n"
+      "trials 2\n"
+      "base_seed 11\n"
+      "sampling_interval 10\n"
+      "max_sim_time 200000\n";
+  std::string error;
+  const auto spec = ScenarioSpec::parse(text, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  ASSERT_EQ(spec->traces.size(), 2u);
+  EXPECT_EQ(spec->traces[0].standard_index, 2);
+  EXPECT_EQ(spec->traces[1].num_jobs, 60u);
+  ASSERT_EQ(spec->policies.size(), 2u);
+  EXPECT_EQ(spec->policies[1].print(), "v-reconf:early_release=0,max_reservations=2");
+  EXPECT_EQ(spec->cluster, "paper1");
+  EXPECT_EQ(spec->nodes, 8u);
+  EXPECT_EQ(spec->config_overrides.at("memory_threshold"), "0.9");
+  EXPECT_EQ(spec->config_overrides.at("cpu_threshold"), "4");
+  EXPECT_EQ(spec->config_overrides.at("node.3.memory"), "128MB");
+  EXPECT_EQ(spec->trials, 2);
+  EXPECT_EQ(spec->base_seed, 11u);
+  EXPECT_DOUBLE_EQ(spec->sampling_interval, 10.0);
+  EXPECT_DOUBLE_EQ(spec->max_sim_time, 200000.0);
+}
+
+TEST(ScenarioSpecTest, ApplyLineRejectsEachFailureClassPrecisely) {
+  ScenarioSpec spec;
+  std::string error;
+  EXPECT_FALSE(spec.apply_line("warp_speed 9", &error));
+  EXPECT_NE(error.find("unknown scenario directive 'warp_speed'"), std::string::npos) << error;
+  EXPECT_NE(error.find("trace, policy, cluster"), std::string::npos) << error;
+
+  EXPECT_FALSE(spec.apply_line("policy", &error));
+  EXPECT_NE(error.find("needs an argument"), std::string::npos) << error;
+  EXPECT_FALSE(spec.apply_line("cluster paper3", &error));
+  EXPECT_NE(error.find("expected auto, paper1, or paper2"), std::string::npos) << error;
+  EXPECT_FALSE(spec.apply_line("nodes eight", &error));
+  EXPECT_NE(error.find("not a positive int"), std::string::npos) << error;
+  EXPECT_FALSE(spec.apply_line("trials 0", &error));
+  EXPECT_FALSE(spec.apply_line("set memory_threshold", &error));
+  EXPECT_NE(error.find("not key=value"), std::string::npos) << error;
+  EXPECT_FALSE(spec.apply_line("sampling_interval -3", &error));
+  EXPECT_NE(error.find("positive duration"), std::string::npos) << error;
+  // Nested parse errors surface verbatim.
+  EXPECT_FALSE(spec.apply_line("trace hpc:trace=1", &error));
+  EXPECT_NE(error.find("unknown workload group 'hpc'"), std::string::npos) << error;
+  EXPECT_FALSE(spec.apply_line("policy v-reconf:=1", &error));
+  // Registry validation is deferred to to_grid(): an unknown policy *name*
+  // is syntactically fine here (it may be registered later, custom-policy
+  // style) and only rejected when the scenario is materialized.
+  EXPECT_TRUE(spec.apply_line("policy no-such-policy:x=1", &error)) << error;
+
+  // A failed line leaves the spec unchanged and later lines still apply.
+  EXPECT_TRUE(spec.traces.empty());
+  EXPECT_TRUE(spec.apply_line("nodes 16", &error)) << error;
+  EXPECT_EQ(spec.nodes, 16u);
+}
+
+TEST(ScenarioSpecTest, ParseReportsTheOffendingLineNumber) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::parse("trace spec:trace=1\n\npolicy gls\nnodes zero\n", &error)
+                   .has_value());
+  EXPECT_NE(error.find("line 4:"), std::string::npos) << error;
+}
+
+TEST(ScenarioSpecTest, ParseValidatesTheAssembledSpec) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::parse("policy g-loadsharing\n", &error).has_value());
+  EXPECT_NE(error.find("no traces"), std::string::npos) << error;
+  EXPECT_FALSE(ScenarioSpec::parse("trace spec:trace=1\n", &error).has_value());
+  EXPECT_NE(error.find("no policies"), std::string::npos) << error;
+}
+
+TEST(ScenarioSpecTest, LoadReportsMissingFileWithPath) {
+  std::string error;
+  EXPECT_FALSE(ScenarioSpec::load("/nonexistent/dir/x.scn", &error).has_value());
+  EXPECT_NE(error.find("/nonexistent/dir/x.scn"), std::string::npos) << error;
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST(ToGridTest, UnknownPolicyAndBadOverrideFailBeforeTraceBuilding) {
+  ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(spec.apply_line("trace spec:trace=1", &error));
+  ASSERT_TRUE(spec.apply_line("policy no-such-policy", &error));
+  EXPECT_FALSE(to_grid(spec, &error).has_value());
+  EXPECT_NE(error.find("unknown policy 'no-such-policy'"), std::string::npos) << error;
+
+  spec.policies = {core::PolicySpec("g-loadsharing")};
+  spec.config_overrides["bogus_knob"] = "1";
+  EXPECT_FALSE(to_grid(spec, &error).has_value());
+  EXPECT_NE(error.find("unknown config override 'bogus_knob'"), std::string::npos) << error;
+}
+
+TEST(ToGridTest, AutoClusterRejectsMixedWorkloadGroups) {
+  ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(spec.apply_line("trace spec:trace=1", &error));
+  ASSERT_TRUE(spec.apply_line("trace apps:trace=1", &error));
+  ASSERT_TRUE(spec.apply_line("policy g-loadsharing", &error));
+  EXPECT_FALSE(to_grid(spec, &error).has_value());
+  EXPECT_NE(error.find("cluster 'auto'"), std::string::npos) << error;
+  EXPECT_NE(error.find("cluster paper1"), std::string::npos) << error;
+
+  ASSERT_TRUE(spec.apply_line("cluster paper1", &error));
+  EXPECT_TRUE(to_grid(spec, &error).has_value()) << error;
+}
+
+// The headline equivalence proof: a scenario naming the fingerprint run
+// (same trace params, default-param policies, no overrides) reproduces the
+// exact FNV-1a goldens captured on the legacy enum path.
+TEST(ScenarioEquivalenceTest, DefaultSpecRunMatchesEnumPathGoldens) {
+  const std::string text =
+      "cluster paper1\n"
+      "nodes 8\n"
+      "trace spec:jobs=120,duration=900,seed=7,name=fingerprint-trace\n"
+      "policy g-loadsharing\n"
+      "policy v-reconf\n";
+  std::string error;
+  const auto spec = ScenarioSpec::parse(text, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  const auto run = run_scenario(*spec, /*jobs=*/2, &error);
+  ASSERT_TRUE(run.has_value()) << error;
+  ASSERT_EQ(run->cells.size(), 2u);
+  EXPECT_EQ(fingerprint(run->cell(0, 0, 0).report), kGLoadSharingGolden);
+  EXPECT_EQ(fingerprint(run->cell(0, 0, 1).report), kVReconfigurationGolden);
+}
+
+// Every PolicyKind and its to_spec() equivalent must run bit-identically.
+TEST(ScenarioEquivalenceTest, EnumAndSpecPathsAgreeForEveryKind) {
+  workload::TraceParams params;
+  params.name = "equiv";
+  params.group = workload::WorkloadGroup::kSpec;
+  params.num_jobs = 40;
+  params.duration = 600.0;
+  params.num_nodes = 8;
+  params.seed = 19;
+  const workload::Trace trace = workload::generate_trace(params);
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
+  for (auto kind : {core::PolicyKind::kGLoadSharing, core::PolicyKind::kVReconfiguration,
+                    core::PolicyKind::kLocalOnly, core::PolicyKind::kSuspension,
+                    core::PolicyKind::kOracleDemands}) {
+    const auto via_enum = core::run_policy_on_trace(kind, trace, config);
+    std::string error;
+    const auto via_spec =
+        core::run_policy_on_trace(core::to_spec(kind), trace, config, {}, &error);
+    ASSERT_TRUE(via_spec.has_value()) << error;
+    EXPECT_EQ(fingerprint(*via_spec), fingerprint(via_enum)) << core::to_string(kind);
+  }
+}
+
+TEST(ScenarioRunTest, TrialsExpandTheTraceAxisTrialMajor) {
+  const std::string base_text =
+      "cluster paper1\n"
+      "nodes 8\n"
+      "trace spec:jobs=30,duration=300,seed=3,name=tr\n"
+      "trace spec:jobs=30,duration=300,seed=4,name=tr2\n"
+      "policy g-loadsharing\n"
+      "policy local-only\n";
+  std::string error;
+  auto spec = ScenarioSpec::parse(base_text, &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  const auto single = run_scenario(*spec, 2, &error);
+  ASSERT_TRUE(single.has_value()) << error;
+
+  ASSERT_TRUE(spec->apply_line("trials 3", &error));
+  const auto repeated = run_scenario(*spec, 2, &error);
+  ASSERT_TRUE(repeated.has_value()) << error;
+  ASSERT_EQ(repeated->cells.size(), 3u * 2u * 2u);
+  EXPECT_EQ(repeated->num_trials, 3);
+  EXPECT_EQ(repeated->num_traces, 2u);
+  EXPECT_EQ(repeated->num_policies, 2u);
+
+  // Trial 0 is the scenario exactly as specified.
+  for (std::size_t t = 0; t < 2; ++t) {
+    for (std::size_t p = 0; p < 2; ++p) {
+      EXPECT_EQ(fingerprint(repeated->cell(0, t, p).report),
+                fingerprint(single->cell(0, t, p).report))
+          << "trace " << t << " policy " << p;
+    }
+  }
+  // Later trials are fresh realizations of the same shape, not copies.
+  EXPECT_NE(fingerprint(repeated->cell(1, 0, 0).report),
+            fingerprint(repeated->cell(0, 0, 0).report));
+  EXPECT_NE(fingerprint(repeated->cell(2, 0, 0).report),
+            fingerprint(repeated->cell(1, 0, 0).report));
+  // Same trial, same trace, different policies share the trace realization.
+  EXPECT_EQ(repeated->cell(1, 0, 0).report.trace, repeated->cell(1, 0, 1).report.trace);
+  EXPECT_EQ(repeated->cell(1, 0, 0).report.jobs_submitted,
+            repeated->cell(1, 0, 1).report.jobs_submitted);
+}
+
+}  // namespace
+}  // namespace vrc::runner

@@ -9,6 +9,8 @@
 #include <atomic>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "metrics/report.h"
@@ -76,7 +78,7 @@ SweepGrid small_grid() {
   // Stochastic faults make the runs consume the derived per-cell seeds, so
   // the determinism check also covers seed derivation.
   grid.configs[0].stochastic_faults = true;
-  grid.policies = {core::PolicyKind::kGLoadSharing, core::PolicyKind::kVReconfiguration};
+  grid.policies = {core::PolicySpec("g-loadsharing"), core::PolicySpec("v-reconf")};
   grid.base_seed = 99;
   return grid;
 }
@@ -160,6 +162,23 @@ TEST(SweepRunnerTest, SummaryMergesAcrossCells) {
   left.merge(right);
   EXPECT_EQ(left.makespan.count(), summary.makespan.count());
   EXPECT_NEAR(left.makespan.mean(), summary.makespan.mean(), 1e-9);
+}
+
+TEST(SweepRunnerTest, InvalidPolicySpecThrowsBeforeAnyCellRuns) {
+  SweepGrid grid = small_grid();
+  grid.policies.push_back(core::PolicySpec("no-such-policy"));
+  SweepRunner runner(2);
+  try {
+    runner.run(grid);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown policy 'no-such-policy'"),
+              std::string::npos)
+        << e.what();
+  }
+
+  grid.policies.back() = core::PolicySpec::parse("v-reconf:max_reservations=many").value();
+  EXPECT_THROW(runner.run(grid), std::invalid_argument);
 }
 
 TEST(SweepRunnerTest, RunIndexedPreservesIndexOrder) {

@@ -30,5 +30,61 @@ TEST(UnitsTest, ConstantsAreConsistent) {
   EXPECT_EQ(kGiB, 1024 * kMiB);
 }
 
+TEST(ParseBytesTest, AcceptsSuffixesAndPlainBytes) {
+  Bytes out = 0;
+  EXPECT_TRUE(parse_bytes("384MB", &out));
+  EXPECT_EQ(out, megabytes(384));
+  EXPECT_TRUE(parse_bytes("128MiB", &out));
+  EXPECT_EQ(out, megabytes(128));
+  EXPECT_TRUE(parse_bytes("4KB", &out));
+  EXPECT_EQ(out, 4 * kKiB);
+  EXPECT_TRUE(parse_bytes("1.5GB", &out));
+  EXPECT_EQ(out, kGiB + kGiB / 2);
+  EXPECT_TRUE(parse_bytes("65536", &out));
+  EXPECT_EQ(out, 65536);
+  EXPECT_TRUE(parse_bytes("512B", &out));
+  EXPECT_EQ(out, 512);
+  EXPECT_TRUE(parse_bytes("16 MB", &out));  // space before the suffix is fine
+  EXPECT_EQ(out, megabytes(16));
+}
+
+TEST(ParseBytesTest, RejectsGarbageUnknownSuffixAndNegative) {
+  Bytes out = 0;
+  EXPECT_FALSE(parse_bytes("", &out));
+  EXPECT_FALSE(parse_bytes("lots", &out));
+  EXPECT_FALSE(parse_bytes("128TB", &out));
+  EXPECT_FALSE(parse_bytes("-4MB", &out));
+  EXPECT_FALSE(parse_bytes("4MBx", &out));
+}
+
+TEST(ParseDurationTest, AcceptsSuffixesAndPlainSeconds) {
+  SimTime out = 0.0;
+  EXPECT_TRUE(parse_duration("10ms", &out));
+  EXPECT_DOUBLE_EQ(out, 0.010);
+  EXPECT_TRUE(parse_duration("0.5s", &out));
+  EXPECT_DOUBLE_EQ(out, 0.5);
+  EXPECT_TRUE(parse_duration("2min", &out));
+  EXPECT_DOUBLE_EQ(out, 120.0);
+  EXPECT_TRUE(parse_duration("15m", &out));
+  EXPECT_DOUBLE_EQ(out, 900.0);
+  EXPECT_TRUE(parse_duration("250us", &out));
+  EXPECT_DOUBLE_EQ(out, 2.5e-4);
+  EXPECT_TRUE(parse_duration("1h", &out));
+  EXPECT_DOUBLE_EQ(out, 3600.0);
+  EXPECT_TRUE(parse_duration("1800", &out));
+  EXPECT_DOUBLE_EQ(out, 1800.0);
+  EXPECT_TRUE(parse_duration("3sec", &out));
+  EXPECT_DOUBLE_EQ(out, 3.0);
+}
+
+TEST(ParseDurationTest, RejectsGarbageUnknownSuffixAndNegative) {
+  SimTime out = 0.0;
+  EXPECT_FALSE(parse_duration("", &out));
+  EXPECT_FALSE(parse_duration("soon", &out));
+  EXPECT_FALSE(parse_duration("2 fortnights", &out));
+  EXPECT_FALSE(parse_duration("-5s", &out));
+  EXPECT_FALSE(parse_duration("10msx", &out));
+}
+
 }  // namespace
 }  // namespace vrc

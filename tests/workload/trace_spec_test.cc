@@ -1,0 +1,136 @@
+// TraceSpec: the declarative trace axis of a scenario. Covers parse/print
+// round-trips, validation errors, and — critically — that a spec naming a
+// standard trace builds the byte-identical trace the enum-era
+// standard_trace() call produced.
+#include "workload/trace_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "workload/trace_generator.h"
+
+namespace vrc::workload {
+namespace {
+
+// Full-content trace comparison via the text serialization (covers name,
+// group, duration, and every job field).
+std::string serialize(const Trace& trace) {
+  std::ostringstream out;
+  trace.save(out);
+  return out.str();
+}
+
+TEST(TraceSpecTest, StandardSpecBuildsByteIdenticalStandardTrace) {
+  for (int index = 1; index <= 5; ++index) {
+    const Trace from_spec = TraceSpec::standard(WorkloadGroup::kSpec, index).build(8);
+    const Trace from_enum_path = standard_trace(WorkloadGroup::kSpec, index, 8);
+    EXPECT_EQ(serialize(from_spec), serialize(from_enum_path)) << "trace " << index;
+  }
+  const Trace apps_spec = TraceSpec::standard(WorkloadGroup::kApps, 2).build(32);
+  EXPECT_EQ(serialize(apps_spec), serialize(standard_trace(WorkloadGroup::kApps, 2, 32)));
+}
+
+TEST(TraceSpecTest, PrintParseRoundTrips) {
+  for (const char* text : {
+           "spec:trace=3",
+           "apps:trace=1",
+           "spec:jobs=120,duration=900",
+           "spec:jobs=120,duration=900,seed=7,name=fp",
+           "spec:trace=2,seed=41",
+           "spec:trace=2,arrival_scale=1.5,nodes=16",
+       }) {
+    std::string error;
+    const auto spec = TraceSpec::parse(text, &error);
+    ASSERT_TRUE(spec.has_value()) << text << ": " << error;
+    const auto reparsed = TraceSpec::parse(spec->print(), &error);
+    ASSERT_TRUE(reparsed.has_value()) << spec->print() << ": " << error;
+    EXPECT_EQ(*reparsed, *spec) << text << " vs " << spec->print();
+  }
+}
+
+TEST(TraceSpecTest, DurationAcceptsUnitSuffixes) {
+  const auto spec = TraceSpec::parse("spec:jobs=10,duration=15min");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_DOUBLE_EQ(spec->duration, 900.0);
+}
+
+TEST(TraceSpecTest, ParseRejectsUnknownGroupKeysAndValues) {
+  std::string error;
+  EXPECT_FALSE(TraceSpec::parse("hpc:trace=1", &error).has_value());
+  EXPECT_NE(error.find("unknown workload group 'hpc'"), std::string::npos) << error;
+
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=1,color=red", &error).has_value());
+  EXPECT_NE(error.find("unknown key 'color'"), std::string::npos) << error;
+  EXPECT_NE(error.find("known keys:"), std::string::npos) << error;
+
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=first", &error).has_value());
+  EXPECT_NE(error.find("invalid value 'first'"), std::string::npos) << error;
+  EXPECT_FALSE(TraceSpec::parse("spec:jobs=-4,duration=100", &error).has_value());
+  EXPECT_FALSE(TraceSpec::parse("spec:jobs=10,duration=-5", &error).has_value());
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=1,arrival_scale=0", &error).has_value());
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=1,seed=soon", &error).has_value());
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=1,nodes=0", &error).has_value());
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=1,name=", &error).has_value());
+  EXPECT_FALSE(TraceSpec::parse("spec:trace", &error).has_value());
+  EXPECT_NE(error.find("not key=value"), std::string::npos) << error;
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=1,trace=2", &error).has_value());
+  EXPECT_NE(error.find("duplicate param 'trace'"), std::string::npos) << error;
+}
+
+TEST(TraceSpecTest, ValidationEnforcesStandardVsGeneratedExclusivity) {
+  std::string error;
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=1,jobs=50", &error).has_value());
+  EXPECT_NE(error.find("mutually exclusive"), std::string::npos) << error;
+  EXPECT_FALSE(TraceSpec::parse("spec", &error).has_value());
+  EXPECT_NE(error.find("required"), std::string::npos) << error;
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=6", &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(TraceSpecTest, SeedOverrideRegeneratesTheShapeAsAFreshRealization) {
+  const Trace replayed = TraceSpec::standard(WorkloadGroup::kSpec, 2).build(8);
+  auto reseeded_spec = TraceSpec::standard(WorkloadGroup::kSpec, 2);
+  reseeded_spec.seed = 12345;
+  const Trace reseeded = reseeded_spec.build(8);
+  // Same shape (name, job count, duration) but different arrivals.
+  EXPECT_EQ(reseeded.name(), replayed.name());
+  EXPECT_EQ(reseeded.size(), replayed.size());
+  EXPECT_DOUBLE_EQ(reseeded.duration(), replayed.duration());
+  EXPECT_NE(serialize(reseeded), serialize(replayed));
+
+  // The standard seed made explicit reproduces the replayed trace exactly.
+  auto explicit_seed = TraceSpec::standard(WorkloadGroup::kSpec, 2);
+  explicit_seed.seed = standard_trace_seed(WorkloadGroup::kSpec, 2);
+  EXPECT_EQ(serialize(explicit_seed.build(8)), serialize(replayed));
+}
+
+TEST(TraceSpecTest, GeneratedSpecMatchesHandBuiltTraceParams) {
+  TraceSpec spec;
+  spec.group = WorkloadGroup::kSpec;
+  spec.num_jobs = 40;
+  spec.duration = 600.0;
+  spec.seed = 31;
+  spec.name = "sweep-31";
+  const Trace from_spec = spec.build(8);
+
+  TraceParams params;
+  params.name = "sweep-31";
+  params.group = WorkloadGroup::kSpec;
+  params.num_jobs = 40;
+  params.duration = 600.0;
+  params.num_nodes = 8;
+  params.seed = 31;
+  EXPECT_EQ(serialize(from_spec), serialize(generate_trace(params)));
+}
+
+TEST(TraceSpecTest, TraceLevelNodesOverrideBeatsDefault) {
+  auto spec = TraceSpec::standard(WorkloadGroup::kSpec, 1);
+  spec.num_nodes = 4;
+  const Trace trace = spec.build(32);
+  for (const JobSpec& job : trace.jobs()) EXPECT_LT(job.home_node, 4);
+}
+
+}  // namespace
+}  // namespace vrc::workload
