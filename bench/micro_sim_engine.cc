@@ -180,4 +180,32 @@ void BM_EndToEndSmallRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSmallRun)->Unit(benchmark::kMillisecond);
 
+// The same small run with fault injection on: an explicit crash window plus
+// a stochastic MTBF/MTTR stream, so every fail/recover transition, job kill,
+// and hardened transfer path is on the measured path. Tracks the overhead
+// the faults subsystem adds to an end-to-end run.
+void BM_EndToEndFaultedRun(benchmark::State& state) {
+  using namespace vrc;
+  workload::TraceParams params;
+  params.num_jobs = 40;
+  params.duration = 600.0;
+  params.num_nodes = 4;
+  params.seed = 9;
+  const auto trace = workload::generate_trace(params);
+  auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 4);
+  config.fault_mtbf = 500.0;
+  config.fault_mttr = 40.0;
+  config.fault_seed = 11;
+  config.fault_restart = "resubmit";
+  core::ExperimentOptions options;
+  options.fault_entries = {{1, 50.0, 20.0}};
+  options.max_sim_time = 50000.0;
+  for (auto _ : state) {
+    auto report =
+        core::run_policy_on_trace(core::PolicyKind::kVReconfiguration, trace, config, options);
+    benchmark::DoNotOptimize(report.total_execution);
+  }
+}
+BENCHMARK(BM_EndToEndFaultedRun)->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/config.h"
+#include "core/policy_registry.h"
 #include "runner/scenario.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -54,6 +56,8 @@ int main(int argc, char** argv) {
   double max_sim_time = 0.0;
   int jobs = 0;
   bool csv = false;
+  bool list_policies = false;
+  bool list_overrides = false;
 
   util::FlagSet flags;
   flags.add_string("scenario", &scenario_path, "scenario spec file to load first");
@@ -71,7 +75,32 @@ int main(int argc, char** argv) {
                    "simulated-time safety cap in seconds (0: scenario default)");
   flags.add_int("jobs", &jobs, "parallel worker threads (0 = one per hardware thread)");
   flags.add_bool("csv", &csv, "emit CSV instead of an ASCII table");
+  flags.add_bool("list-policies", &list_policies,
+                 "print every registered policy with its parameters, then exit");
+  flags.add_bool("list-overrides", &list_overrides,
+                 "print every `--set` config override key, then exit");
   if (!flags.parse(argc, argv)) return 1;
+
+  if (list_policies) {
+    const core::PolicyRegistry& registry = core::PolicyRegistry::instance();
+    for (const std::string& name : registry.names()) {
+      std::printf("%s\n", name.c_str());
+      const std::vector<core::PolicyParamDoc>* docs = registry.param_docs(name);
+      if (docs == nullptr) continue;
+      for (const core::PolicyParamDoc& doc : *docs) {
+        std::printf("  %-24s %-10s default %-8s %s\n", doc.key.c_str(), doc.type.c_str(),
+                    doc.default_value.c_str(), doc.help.c_str());
+      }
+    }
+    return 0;
+  }
+  if (list_overrides) {
+    for (const cluster::ClusterConfig::OverrideKeyDoc& doc :
+         cluster::ClusterConfig::override_keys()) {
+      std::printf("%-28s %-10s %s\n", doc.key.c_str(), doc.type.c_str(), doc.help.c_str());
+    }
+    return 0;
+  }
 
   std::string error;
   runner::ScenarioSpec spec;
@@ -111,21 +140,37 @@ int main(int argc, char** argv) {
   }
 
   using util::Table;
-  Table table({"trial", "trace", "policy", "jobs", "completed", "makespan", "t_exe", "t_cpu",
-               "t_page", "t_que", "t_mig", "avg_slowdown", "idle_mb", "skew"});
+  // Fault columns only when the scenario configures faults, so fault-free
+  // scenario goldens stay byte-identical.
+  const bool with_faults =
+      !spec.faults.empty() || spec.config_overrides.count("fault.mtbf") > 0;
+  std::vector<std::string> header = {"trial", "trace", "policy", "jobs", "completed",
+                                     "makespan", "t_exe", "t_cpu", "t_page", "t_que", "t_mig",
+                                     "avg_slowdown", "idle_mb", "skew"};
+  if (with_faults) {
+    header.insert(header.end(), {"crashes", "killed", "restarts", "xfail", "avail"});
+  }
+  Table table(header);
   for (int trial = 0; trial < run->num_trials; ++trial) {
     for (std::size_t t = 0; t < run->num_traces; ++t) {
       for (std::size_t p = 0; p < run->num_policies; ++p) {
         const metrics::RunReport& report = run->cell(trial, t, p).report;
-        table.add_row({std::to_string(trial), report.trace, spec.policies[p].print(),
-                       std::to_string(report.jobs_submitted),
-                       std::to_string(report.jobs_completed), Table::fmt(report.makespan, 1),
-                       Table::fmt(report.total_execution, 1), Table::fmt(report.total_cpu, 1),
-                       Table::fmt(report.total_page, 1), Table::fmt(report.total_queue, 1),
-                       Table::fmt(report.total_migration, 1),
-                       Table::fmt(report.avg_slowdown, 4),
-                       Table::fmt(report.avg_idle_memory_mb, 1),
-                       Table::fmt(report.avg_balance_skew, 4)});
+        std::vector<std::string> row = {
+            std::to_string(trial), report.trace, spec.policies[p].print(),
+            std::to_string(report.jobs_submitted), std::to_string(report.jobs_completed),
+            Table::fmt(report.makespan, 1), Table::fmt(report.total_execution, 1),
+            Table::fmt(report.total_cpu, 1), Table::fmt(report.total_page, 1),
+            Table::fmt(report.total_queue, 1), Table::fmt(report.total_migration, 1),
+            Table::fmt(report.avg_slowdown, 4), Table::fmt(report.avg_idle_memory_mb, 1),
+            Table::fmt(report.avg_balance_skew, 4)};
+        if (with_faults) {
+          row.push_back(std::to_string(report.node_crashes));
+          row.push_back(std::to_string(report.jobs_killed));
+          row.push_back(std::to_string(report.job_restarts));
+          row.push_back(std::to_string(report.transfer_failures));
+          row.push_back(Table::fmt(report.availability, 4));
+        }
+        table.add_row(row);
       }
     }
   }

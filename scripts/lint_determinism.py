@@ -7,10 +7,11 @@ fingerprint goldens catch a nondeterminism bug only after it lands; this
 linter rejects the usual sources at review time, before a seed-dependent
 heisendiff ever reaches the goldens.
 
-Scanned by default: src/sim, src/core, src/cluster, src/workload, and
-src/runner — the modules whose execution order feeds the event loop, plus
-the parallel sweep/scenario layer whose cell ordering and seed derivation
-must be reproducible. Banned constructs:
+Scanned by default: src/sim, src/core, src/cluster, src/workload,
+src/runner, and src/faults — the modules whose execution order feeds the
+event loop, plus the parallel sweep/scenario layer whose cell ordering and
+seed derivation must be reproducible, plus the fault-injection subsystem
+whose failure schedules must replay bit-identically. Banned constructs:
 
   wall-clock        std::chrono::{system,steady,high_resolution}_clock,
                     time(NULL)-style calls, clock(), gettimeofday(
@@ -53,7 +54,8 @@ import os
 import re
 import sys
 
-DEFAULT_PATHS = ["src/sim", "src/core", "src/cluster", "src/workload", "src/runner"]
+DEFAULT_PATHS = ["src/sim", "src/core", "src/cluster", "src/workload", "src/runner",
+                 "src/faults"]
 SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 
 NOLINT_RE = re.compile(r"//\s*NOLINT-determinism\((?P<reason>[^)]*)\)")

@@ -16,7 +16,9 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config, SchedulerPolicy& pol
       network_(sim, config_),
       board_(config_.num_nodes()),
       rng_(config_.seed),
-      last_pressure_callback_(config_.num_nodes(), -1e18) {
+      last_pressure_callback_(config_.num_nodes(), -1e18),
+      restart_policy_(parse_restart_policy(config_.fault_restart).value_or(RestartPolicy::kLose)),
+      failed_since_(config_.num_nodes(), -1.0) {
   nodes_.reserve(config_.num_nodes());
   for (std::size_t i = 0; i < config_.num_nodes(); ++i) {
     nodes_.push_back(
@@ -26,7 +28,14 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config, SchedulerPolicy& pol
   policy_.attach(*this);
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // A cluster can be destroyed mid-run (an aborted sweep cell) while the
+  // simulator lives on. Cancel everything this cluster scheduled so no
+  // arrival or transfer completion fires into the destroyed object; cancel
+  // also frees unfired move-only payloads (in-flight jobs), and cancelling
+  // an already-fired id is a no-op.
+  for (const sim::EventId id : owned_events_) sim_.cancel(id);
+}
 
 void Cluster::submit_trace(const workload::Trace& trace) {
   for (const workload::JobSpec& spec : trace.jobs()) submit_job(spec);
@@ -37,7 +46,8 @@ void Cluster::submit_job(const workload::JobSpec& spec) {
   const workload::JobSpec& stored = specs_.back();
   ++expected_jobs_;
   if (finished_ && completed_.size() < expected_jobs_) finished_ = false;
-  sim_.schedule_at(stored.submit_time, [this, &stored] { on_arrival(stored); });
+  owned_events_.push_back(
+      sim_.schedule_at(stored.submit_time, [this, &stored] { on_arrival(stored); }));
 }
 
 void Cluster::on_arrival(const workload::JobSpec& spec) {
@@ -110,20 +120,34 @@ void Cluster::place_remote(RunningJob& job, NodeId node_id) {
   ++remote_submits_;
 
   // The callback owns the in-flight job: if the run is cut off before the
-  // submit completes, destroying the unfired event frees the job instead of
-  // leaking it (caught by the asan-ubsan CI job's LeakSanitizer pass).
-  network_.start_remote_submit([this, owned = std::move(owned), node_id]() mutable {
-    std::unique_ptr<RunningJob> arrived = std::move(owned);
-    const SimTime done = sim_.now();
-    arrived->t_mig += done - arrived->accounted_until;
-    arrived->accounted_until = done;
-    arrived->phase = JobPhase::kRunning;
-    ++arrived->remote_submits;
-    Workstation& target = node(node_id);
-    target.remove_incoming(arrived->id());
-    target.add_job(std::move(arrived));
-    --inflight_;
-  });
+  // submit completes, cancelling the event at teardown frees the job instead
+  // of leaking it (caught by the asan-ubsan CI job's LeakSanitizer pass).
+  owned_events_.push_back(
+      network_.start_remote_submit([this, owned = std::move(owned), node_id]() mutable {
+        std::unique_ptr<RunningJob> arrived = std::move(owned);
+        const SimTime done = sim_.now();
+        arrived->t_mig += done - arrived->accounted_until;
+        arrived->accounted_until = done;
+        Workstation& target = node(node_id);
+        // A failed destination dropped its reservations; a dead reservation
+        // (even after the node recovered) means the submission is lost.
+        const bool delivered = !target.failed() && target.remove_incoming(arrived->id());
+        --inflight_;
+        if (!delivered) {
+          ++transfer_failures_;
+          arrived->phase = JobPhase::kPending;
+          arrived->node = workload::kInvalidNode;
+          RunningJob& ref = *arrived;
+          pending_.push_back(std::move(arrived));
+          VRC_LOG(kInfo) << "t=" << done << " remote submit of job " << ref.id() << " to node "
+                         << node_id << " failed (node down)";
+          policy_.on_transfer_failed(*this, ref);
+          return;
+        }
+        arrived->phase = JobPhase::kRunning;
+        ++arrived->remote_submits;
+        target.add_job(std::move(arrived));
+      }));
 }
 
 bool Cluster::start_migration(NodeId src, JobId job_id, NodeId dst_id) {
@@ -136,6 +160,8 @@ bool Cluster::start_migration(NodeId src, JobId job_id, NodeId dst_id) {
   job->t_queue += now - job->accounted_until;
   job->accounted_until = now;
   source.set_job_phase(*job, JobPhase::kMigrating);
+  job->migration_dst = dst_id;
+  const int incarnation = job->incarnation;
 
   const Bytes image = job->demand;
   Workstation& dst = node(dst_id);
@@ -146,21 +172,41 @@ bool Cluster::start_migration(NodeId src, JobId job_id, NodeId dst_id) {
   VRC_LOG(kInfo) << "t=" << now << " migrate job " << job_id << " (" << to_megabytes(image)
                  << " MB) node " << src << " -> " << dst_id;
 
-  network_.start_transfer(image, [this, src, job_id, dst_id] {
+  owned_events_.push_back(network_.start_transfer(image, [this, src, job_id, dst_id,
+                                                          incarnation] {
     Workstation& source_node = node(src);
-    std::unique_ptr<RunningJob> moved = source_node.remove_job(job_id);
-    assert(moved && "migration completion: job vanished from source");
+    RunningJob* live = source_node.find_job(job_id);
+    if (live == nullptr || live->incarnation != incarnation ||
+        live->phase != JobPhase::kMigrating) {
+      // The source died mid-transfer: fail_node killed the job (a restarted
+      // incarnation may even be back on the same node) and released the
+      // destination's reservation. Nothing to deliver.
+      --inflight_;
+      return;
+    }
     const SimTime done = sim_.now();
-    moved->t_mig += done - moved->accounted_until;
-    moved->accounted_until = done;
+    live->t_mig += done - live->accounted_until;
+    live->accounted_until = done;
+    live->migration_dst = workload::kInvalidNode;
+    Workstation& target = node(dst_id);
+    const bool delivered = !target.failed() && target.remove_incoming(job_id);
+    --inflight_;
+    if (!delivered) {
+      // Destination died while the image was in flight; the source copy is
+      // still intact, so the job resumes where it was.
+      ++transfer_failures_;
+      source_node.set_job_phase(*live, JobPhase::kRunning);
+      VRC_LOG(kInfo) << "t=" << done << " migration of job " << job_id << " to node " << dst_id
+                     << " failed (node down); resuming on node " << src;
+      policy_.on_transfer_failed(*this, *live);
+      return;
+    }
+    std::unique_ptr<RunningJob> moved = source_node.remove_job(job_id);
     moved->phase = JobPhase::kRunning;
     ++moved->migrations;
-    Workstation& target = node(dst_id);
-    target.remove_incoming(job_id);
     RunningJob& ref = target.add_job(std::move(moved));
-    --inflight_;
     policy_.on_migration_complete(*this, ref);
-  });
+  }));
   return true;
 }
 
@@ -192,6 +238,86 @@ void Cluster::set_reserved(NodeId node_id, bool reserved) {
   board_.set_reserved(node_id, reserved);
 }
 
+void Cluster::fail_node(NodeId node_id) {
+  Workstation& target = node(node_id);
+  if (target.failed()) return;
+  const SimTime now = sim_.now();
+  target.set_failed(true);
+  failed_since_[node_id] = now;
+  ++node_crashes_;
+  VRC_LOG(kInfo) << "t=" << now << " node " << node_id << " failed ("
+                 << target.active_jobs() << " jobs killed)";
+
+  // In-flight transfers toward this node lose their reservations; when their
+  // completions fire, the failed remove_incoming() tells the initiator the
+  // destination died (even if the node has recovered by then).
+  target.clear_incoming();
+
+  // Kill resident jobs: the node's memory is gone, so completed work is lost
+  // and each job restarts from zero.
+  std::vector<std::unique_ptr<RunningJob>> killed = target.take_all_jobs();
+  std::vector<RunningJob*> refs;
+  refs.reserve(killed.size());
+  for (auto& job : killed) {
+    // Close the accounting gap since the last tick: wall time on a node that
+    // then crashed is wait time (transfer time for a migrating job).
+    const SimTime gap = now - job->accounted_until;
+    if (job->phase == JobPhase::kMigrating) {
+      job->t_mig += gap;
+      // Release the destination's reservation; the in-flight completion
+      // aborts via its incarnation check.
+      if (job->migration_dst != workload::kInvalidNode) {
+        node(job->migration_dst).remove_incoming(job->id());
+      }
+    } else {
+      job->t_queue += gap;
+    }
+    job->accounted_until = now;
+    work_lost_cpu_ += job->cpu_done;
+    job->cpu_done = 0.0;
+    job->phase = JobPhase::kPending;
+    job->node = workload::kInvalidNode;
+    job->migration_dst = workload::kInvalidNode;
+    job->demand = job->spec->memory.demand_at(0.0);
+    ++job->restarts;
+    ++job->incarnation;
+    ++jobs_killed_;
+    refs.push_back(job.get());
+    pending_.push_back(std::move(job));
+  }
+
+  board_.update(target.snapshot(now));  // immediate broadcast, not next exchange
+  policy_.on_node_failed(*this, node_id);
+  if (restart_policy_ == RestartPolicy::kResubmit) {
+    // Re-enter the arrival path right away; under kLose the jobs wait for
+    // the policy's periodic pending retry instead.
+    for (RunningJob* job : refs) {
+      if (job->phase == JobPhase::kPending) policy_.on_job_arrival(*this, *job);
+    }
+  }
+}
+
+void Cluster::recover_node(NodeId node_id) {
+  Workstation& target = node(node_id);
+  if (!target.failed()) return;
+  const SimTime now = sim_.now();
+  target.set_failed(false);
+  downtime_accum_ += now - failed_since_[node_id];
+  failed_since_[node_id] = -1.0;
+  ++node_recoveries_;
+  VRC_LOG(kInfo) << "t=" << now << " node " << node_id << " recovered";
+  board_.update(target.snapshot(now));
+  policy_.on_node_recovered(*this, node_id);
+}
+
+SimTime Cluster::downtime_node_seconds(SimTime now) const {
+  SimTime total = downtime_accum_;
+  for (const SimTime since : failed_since_) {
+    if (since >= 0.0) total += now - since;
+  }
+  return total;
+}
+
 std::vector<RunningJob*> Cluster::pending_jobs() {
   std::vector<RunningJob*> jobs;
   jobs.reserve(pending_.size());
@@ -202,6 +328,7 @@ std::vector<RunningJob*> Cluster::pending_jobs() {
 Bytes Cluster::live_idle_memory() const {
   Bytes total = 0;
   for (const auto& node : nodes_) {
+    if (node->failed()) continue;
     total += std::max<Bytes>(0, node->user_memory() - node->resident_demand());
   }
   return total;
@@ -211,6 +338,7 @@ std::vector<int> Cluster::live_active_jobs(bool skip_reserved) const {
   std::vector<int> counts;
   counts.reserve(nodes_.size());
   for (const auto& node : nodes_) {
+    if (node->failed()) continue;
     if (skip_reserved && node->reserved()) continue;
     counts.push_back(node->active_jobs());
   }
@@ -254,6 +382,7 @@ void Cluster::complete_job(std::unique_ptr<RunningJob> job, SimTime now) {
   record.faults = job->faults;
   record.migrations = job->migrations;
   record.remote_submits = job->remote_submits;
+  record.restarts = job->restarts;
   record.final_node = job->node;
   record.working_set = job->spec->working_set();
   completed_.push_back(record);

@@ -60,6 +60,16 @@ class Cluster {
   /// Sets the virtual-reconfiguration reservation flag on a node.
   void set_reserved(NodeId node, bool reserved);
 
+  // --- fault injection (driven by faults::FaultInjector) ---
+  /// Takes `node` down: every resident job is killed (its work restarts from
+  /// zero) and re-enqueued per config.fault_restart, in-flight reservations
+  /// toward the node are dropped so their completions abort, and the board is
+  /// updated immediately. No-op when the node is already down.
+  void fail_node(NodeId node);
+  /// Brings a failed node back up (empty, accepting jobs again). No-op when
+  /// the node is up.
+  void recover_node(NodeId node);
+
   // --- accessors ---
   sim::Simulator& simulator() { return sim_; }
   const ClusterConfig& config() const { return config_; }
@@ -94,6 +104,18 @@ class Cluster {
   std::uint64_t remote_submits() const { return remote_submits_; }
   std::uint64_t local_placements() const { return local_placements_; }
 
+  // --- fault statistics ---
+  std::uint64_t node_crashes() const { return node_crashes_; }
+  std::uint64_t node_recoveries() const { return node_recoveries_; }
+  /// Jobs killed by a node failure (each restarts from zero work).
+  std::uint64_t jobs_killed() const { return jobs_killed_; }
+  /// Transfers (remote submissions or migrations) aborted by a failure.
+  std::uint64_t transfer_failures() const { return transfer_failures_; }
+  /// Reference-CPU seconds of completed work discarded by failures.
+  SimTime work_lost_cpu_seconds() const { return work_lost_cpu_; }
+  /// Node-seconds of downtime up to `now` (open failure intervals included).
+  SimTime downtime_node_seconds(SimTime now) const;
+
  private:
   void on_arrival(const workload::JobSpec& spec);
   void ensure_tasks_running();
@@ -115,6 +137,12 @@ class Cluster {
   std::vector<std::unique_ptr<RunningJob>> pending_;
   std::vector<CompletedJob> completed_;
   std::vector<SimTime> last_pressure_callback_;
+  /// Every event this cluster scheduled (arrivals, transfer completions);
+  /// cancelled wholesale at destruction so no callback outlives the cluster.
+  /// Cancelling an already-fired id is a no-op.
+  std::vector<sim::EventId> owned_events_;
+  RestartPolicy restart_policy_ = RestartPolicy::kLose;
+  std::vector<SimTime> failed_since_;  // per node; < 0 while the node is up
 
   std::unique_ptr<sim::PeriodicTask> tick_task_;
   std::unique_ptr<sim::PeriodicTask> exchange_task_;
@@ -129,6 +157,13 @@ class Cluster {
   std::uint64_t migrations_started_ = 0;
   std::uint64_t remote_submits_ = 0;
   std::uint64_t local_placements_ = 0;
+
+  std::uint64_t node_crashes_ = 0;
+  std::uint64_t node_recoveries_ = 0;
+  std::uint64_t jobs_killed_ = 0;
+  std::uint64_t transfer_failures_ = 0;
+  SimTime work_lost_cpu_ = 0.0;
+  SimTime downtime_accum_ = 0.0;  // closed failure intervals only
 };
 
 }  // namespace vrc::cluster

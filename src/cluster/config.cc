@@ -5,6 +5,12 @@
 
 namespace vrc::cluster {
 
+std::optional<RestartPolicy> parse_restart_policy(const std::string& text) {
+  if (text == "lose") return RestartPolicy::kLose;
+  if (text == "resubmit") return RestartPolicy::kResubmit;
+  return std::nullopt;
+}
+
 ClusterConfig ClusterConfig::homogeneous(std::size_t count, const NodeConfig& node,
                                          double reference_mhz) {
   ClusterConfig config;
@@ -237,6 +243,27 @@ bool ClusterConfig::apply_overrides(const std::map<std::string, std::string>& ov
       ok = set_bool(value, &updated.stochastic_faults, &expected);
     } else if (key == "seed") {
       ok = set_uint64(value, &updated.seed, &expected);
+    } else if (key == "fault.mtbf") {
+      ok = set_duration(value, &updated.fault_mtbf, &expected);
+      if (ok && updated.fault_mtbf < 0.0) {
+        ok = false;
+        expected = "non-negative duration, e.g. 2000s (0 disables)";
+      }
+    } else if (key == "fault.mttr") {
+      ok = set_duration(value, &updated.fault_mttr, &expected);
+      if (ok && updated.fault_mttr <= 0.0) {
+        ok = false;
+        expected = "positive duration, e.g. 60s";
+      }
+    } else if (key == "fault.seed") {
+      ok = set_uint64(value, &updated.fault_seed, &expected);
+    } else if (key == "fault.restart") {
+      if (parse_restart_policy(value)) {
+        updated.fault_restart = value;
+      } else {
+        ok = false;
+        expected = "'lose' or 'resubmit'";
+      }
     } else {
       std::string known;
       for (const OverrideKeyDoc& doc : override_keys()) {
@@ -281,6 +308,10 @@ const std::vector<ClusterConfig::OverrideKeyDoc>& ClusterConfig::override_keys()
       {"fault_exposure_knee", "double", "knee of the fault-exposure curve (DESIGN.md §5)"},
       {"stochastic_faults", "bool", "Poisson-sample per-tick faults instead of expectation"},
       {"seed", "uint64", "cluster-internal RNG seed (stochastic faults)"},
+      {"fault.mtbf", "duration", "per-node mean time between failures; 0 = generator off"},
+      {"fault.mttr", "duration", "per-node mean time to repair"},
+      {"fault.seed", "uint64", "fault-schedule RNG seed; 0 derives it from `seed`"},
+      {"fault.restart", "string", "restart policy for killed jobs: lose | resubmit"},
       {"node.<i>.cpu_mhz", "double", "per-node CPU speed; <i> is an index or '*'"},
       {"node.<i>.memory", "bytes", "per-node physical memory, e.g. node.3.memory=128MB"},
       {"node.<i>.swap", "bytes", "per-node swap space"},

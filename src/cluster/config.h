@@ -9,12 +9,22 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "util/units.h"
 
 namespace vrc::cluster {
+
+/// What happens to a job killed by a node failure (fault injection).
+enum class RestartPolicy {
+  kLose,      // restart from zero work; re-placed via the periodic retry
+  kResubmit,  // restart from zero work and re-enter the arrival path
+};
+
+/// Parses "lose" / "resubmit"; std::nullopt on anything else.
+std::optional<RestartPolicy> parse_restart_policy(const std::string& text);
 
 /// Per-workstation hardware description (heterogeneous clusters give each
 /// node its own entry).
@@ -93,6 +103,18 @@ struct ClusterConfig {
   /// Seed for the cluster's internal randomness (stochastic faults).
   std::uint64_t seed = 42;
 
+  // --- fault injection (src/faults; DESIGN.md §10) ---
+  /// Per-node mean time between failures (exponential). 0 disables the
+  /// stochastic generator; explicit scenario `fault` entries still apply.
+  SimTime fault_mtbf = 0.0;
+  /// Per-node mean time to repair (exponential).
+  SimTime fault_mttr = 60.0;
+  /// Seed of the fault schedule's dedicated RNG stream; 0 derives it from
+  /// `seed`, so matched-pairs policy comparisons see identical failures.
+  std::uint64_t fault_seed = 0;
+  /// "lose" or "resubmit" — what happens to jobs killed by a failure.
+  std::string fault_restart = "lose";
+
   /// Number of workstations.
   std::size_t num_nodes() const { return nodes.size(); }
 
@@ -122,7 +144,7 @@ struct ClusterConfig {
   /// Documentation for one override key (drives error text and DESIGN.md §9).
   struct OverrideKeyDoc {
     std::string key;
-    std::string type;  // "int" | "double" | "bool" | "uint64" | "bytes" | "duration"
+    std::string type;  // "int" | "double" | "bool" | "uint64" | "bytes" | "duration" | "string"
     std::string help;
   };
 

@@ -30,6 +30,7 @@ struct LoadInfo {
   double fault_rate = 0.0;  // page faults/s (EMA)
   bool reserved = false;    // virtual-reconfiguration reservation flag
   bool pressured = false;   // memory-pressure predicate at publication time
+  bool failed = false;      // node is down (fault injection); never a target
 };
 
 /// The shared snapshot table.

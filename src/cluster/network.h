@@ -28,22 +28,21 @@ class Network {
 
   /// Starts a bulk transfer of `image` bytes and invokes `done` when it
   /// completes. With contention enabled the transfer queues behind earlier
-  /// transfers on the shared segment. Returns the completion time.
+  /// transfers on the shared segment. Returns the completion event's id so
+  /// the initiator can cancel it (e.g. at cluster teardown).
   /// `done` may be move-only (e.g. own the in-flight job via unique_ptr),
   /// so an unfired completion still releases its payload at teardown.
   template <typename F>
-  SimTime start_transfer(Bytes image, F&& done) {
+  sim::EventId start_transfer(Bytes image, F&& done) {
     const SimTime completion = begin_transfer(image);
-    sim_.schedule_at(completion, std::forward<F>(done));
-    return completion;
+    return sim_.schedule_at(completion, std::forward<F>(done));
   }
 
   /// Starts a remote-submission control exchange; `done` fires after r.
+  /// Returns the completion event's id.
   template <typename F>
-  SimTime start_remote_submit(F&& done) {
-    const SimTime completion = sim_.now() + remote_submit_cost_;
-    sim_.schedule_at(completion, std::forward<F>(done));
-    return completion;
+  sim::EventId start_remote_submit(F&& done) {
+    return sim_.schedule_at(sim_.now() + remote_submit_cost_, std::forward<F>(done));
   }
 
   // --- statistics ---

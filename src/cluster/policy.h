@@ -58,6 +58,28 @@ class SchedulerPolicy {
     (void)job;
   }
 
+  /// `node` went down (fault injection). Fired after the cluster state is
+  /// consistent: resident jobs killed and re-enqueued as pending, the node's
+  /// incoming reservations dropped, the board snapshot marked failed.
+  virtual void on_node_failed(Cluster& cluster, NodeId node) {
+    (void)cluster;
+    (void)node;
+  }
+
+  /// A previously failed `node` came back up (empty, accepting jobs again).
+  virtual void on_node_recovered(Cluster& cluster, NodeId node) {
+    (void)cluster;
+    (void)node;
+  }
+
+  /// An in-flight transfer failed because its destination died. A failed
+  /// remote submission leaves `job` pending again (re-offered via
+  /// on_periodic); a failed migration leaves it running on its source.
+  virtual void on_transfer_failed(Cluster& cluster, RunningJob& job) {
+    (void)cluster;
+    (void)job;
+  }
+
   /// Policy-specific counters for reports (e.g. reservations started).
   virtual std::vector<std::pair<std::string, double>> stats() const { return {}; }
 };

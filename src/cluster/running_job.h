@@ -45,6 +45,18 @@ struct RunningJob {
   int migrations = 0;    // completed preemptive migrations
   int remote_submits = 0;
   int suspensions = 0;
+  int restarts = 0;      // times killed by a node failure and restarted
+
+  /// Bumped every time the job is killed and re-enqueued. In-flight transfer
+  /// completions capture the value at transfer start; a mismatch at
+  /// completion means the job was killed (and possibly re-placed — even back
+  /// onto the same node) while the image was in flight, so the transfer must
+  /// abort instead of touching the restarted incarnation.
+  int incarnation = 0;
+
+  /// Destination of the in-flight migration while phase == kMigrating, so a
+  /// source-node failure can release the destination's incoming reservation.
+  NodeId migration_dst = workload::kInvalidNode;
 
   /// Simulation time up to which this job's wall clock has been attributed
   /// to the four buckets.
@@ -77,6 +89,7 @@ struct CompletedJob {
   double faults = 0.0;
   int migrations = 0;
   int remote_submits = 0;
+  int restarts = 0;
   NodeId final_node = 0;
   Bytes working_set = 0;
 

@@ -29,6 +29,7 @@ bool Workstation::memory_pressured() const {
 }
 
 bool Workstation::accepts_new_job(Bytes demand_hint) const {
+  if (failed_) return false;
   if (reserved_) return false;
   if (!has_free_slot()) return false;
   if (memory_pressured()) return false;
@@ -93,6 +94,21 @@ RunningJob* Workstation::most_memory_intensive_job() {
     if (!best || job->demand > best->demand) best = job.get();
   }
   return best;
+}
+
+std::vector<std::unique_ptr<RunningJob>> Workstation::take_all_jobs() {
+  std::vector<std::unique_ptr<RunningJob>> taken = std::move(jobs_);
+  jobs_.clear();
+  resident_bytes_ = 0;
+  active_count_ = 0;
+  runnable_count_ = 0;
+  return taken;
+}
+
+void Workstation::clear_incoming() {
+  incoming_.clear();
+  incoming_count_ = 0;
+  incoming_bytes_ = 0;
 }
 
 void Workstation::add_incoming(JobId id, Bytes demand) {
@@ -248,6 +264,7 @@ LoadInfo Workstation::snapshot(SimTime now) const {
   info.fault_rate = fault_rate_;
   info.reserved = reserved_;
   info.pressured = memory_pressured();
+  info.failed = failed_;
   return info;
 }
 

@@ -67,6 +67,19 @@ class Workstation {
   bool reserved() const { return reserved_; }
   void set_reserved(bool reserved) { reserved_ = reserved; }
 
+  // --- failure flag (fault injection; transitions driven by Cluster) ---
+  bool failed() const { return failed_; }
+  void set_failed(bool failed) { failed_ = failed; }
+
+  /// Removes and returns every resident job (fail transition: the node's
+  /// memory image is gone). Aggregates reset to empty.
+  std::vector<std::unique_ptr<RunningJob>> take_all_jobs();
+
+  /// Drops every in-flight placement reservation. After this, a transfer
+  /// completing toward this node sees remove_incoming() fail — the token that
+  /// tells the initiator the destination died while the image was in flight.
+  void clear_incoming();
+
   // --- job management ---
   RunningJob& add_job(std::unique_ptr<RunningJob> job);
   std::unique_ptr<RunningJob> remove_job(JobId id);
@@ -141,6 +154,7 @@ class Workstation {
   Bytes incoming_bytes_ = 0;
   std::vector<std::pair<JobId, Bytes>> incoming_;
   bool reserved_ = false;
+  bool failed_ = false;
 
   double fault_rate_ = 0.0;
   double total_faults_ = 0.0;

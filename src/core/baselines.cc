@@ -4,6 +4,9 @@ namespace vrc::core {
 
 bool LocalOnly::try_place(Cluster& cluster, RunningJob& job) {
   Workstation& home = cluster.node(job.home_node);
+  // A failed home node accepts nothing; the job waits out the outage in the
+  // pending queue (there is no remote path in this baseline).
+  if (home.failed()) return false;
   // Conventional multiprogramming: only the CPU threshold gates admission;
   // memory oversubscription simply thrashes.
   if (home.slots_used() < cluster.config().cpu_threshold) {

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "faults/injector.h"
+
 namespace vrc::core {
 
 const char* to_string(PolicyKind kind) {
@@ -65,6 +67,15 @@ metrics::RunReport run_experiment(const workload::Trace& trace,
   sim::Simulator sim;
   cluster::Cluster cluster(sim, config, policy);
   metrics::Collector collector(cluster, options.collector);
+  // Only instantiate fault machinery when the run actually has faults: an
+  // empty plan must leave the event stream bit-identical to a build without
+  // the subsystem (the no-faults-equivalence determinism test pins this).
+  faults::FaultPlan plan =
+      faults::FaultPlan::materialize(options.fault_entries, config, options.max_sim_time);
+  std::unique_ptr<faults::FaultInjector> injector;
+  if (!plan.empty()) {
+    injector = std::make_unique<faults::FaultInjector>(sim, cluster, plan);
+  }
   cluster.submit_trace(trace);
   sim.run_until(options.max_sim_time);
   collector.stop();

@@ -12,6 +12,7 @@
 #include "cluster/cluster.h"
 #include "cluster/config.h"
 #include "core/baselines.h"
+#include "faults/fault_plan.h"
 #include "core/g_load_sharing.h"
 #include "core/oracle.h"
 #include "core/policy_registry.h"
@@ -59,6 +60,11 @@ struct ExperimentOptions {
   /// reported with the jobs completed so far (jobs_completed <
   /// jobs_submitted flags it).
   SimTime max_sim_time = 500000.0;
+  /// Explicit failure windows (scenario `fault` directives). Combined with
+  /// the stochastic generator (config.fault_mtbf) by FaultPlan::materialize;
+  /// when both are empty no fault machinery is instantiated at all, keeping
+  /// fault-free runs bit-identical to pre-fault builds.
+  std::vector<faults::FaultEntry> fault_entries;
 };
 
 /// Runs `trace` on a cluster built from `config` under `policy`.

@@ -48,7 +48,7 @@ std::optional<NodeId> GLoadSharing::find_submission_target(Cluster& cluster, Byt
   const int cpu_threshold = cluster.config().cpu_threshold;
   for (const cluster::LoadInfo& info : cluster.board().all()) {
     if (info.node == exclude) continue;
-    if (info.reserved || info.pressured) continue;
+    if (info.reserved || info.pressured || info.failed) continue;
     if (info.slots_used >= cpu_threshold) continue;
     if (info.idle_memory <= demand_hint) continue;
     // Selection trusts the periodically-exchanged board: between exchanges
@@ -73,12 +73,14 @@ std::optional<NodeId> GLoadSharing::find_migration_target(Cluster& cluster,
   const int cpu_threshold = cluster.config().cpu_threshold;
   for (const cluster::LoadInfo& info : cluster.board().all()) {
     if (info.node == exclude) continue;
-    if (info.reserved || info.pressured) continue;
+    if (info.reserved || info.pressured || info.failed) continue;
     if (info.slots_used >= cpu_threshold) continue;
     if (info.idle_memory < job.demand) continue;
     if (info.idle_memory <= best_idle) continue;
     const Workstation& live = cluster.node(info.node);
-    if (!live.has_free_slot() || live.reserved() || live.memory_pressured()) continue;
+    if (live.failed() || !live.has_free_slot() || live.reserved() || live.memory_pressured()) {
+      continue;
+    }
     if (live.idle_memory() < job.demand) continue;
     best = info.node;
     best_idle = info.idle_memory;

@@ -13,7 +13,9 @@ Bytes OracleDemands::future_committed(const Workstation& node) const {
 
 bool OracleDemands::oracle_accepts(const Cluster& cluster, const Workstation& node,
                                    Bytes peak) const {
-  if (node.reserved() || !node.has_free_slot() || node.memory_pressured()) return false;
+  if (node.failed() || node.reserved() || !node.has_free_slot() || node.memory_pressured()) {
+    return false;
+  }
   const Bytes limit = static_cast<Bytes>(cluster.config().memory_threshold *
                                          static_cast<double>(node.user_memory()));
   return future_committed(node) + peak < limit;

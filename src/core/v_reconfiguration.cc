@@ -21,6 +21,7 @@ void VReconfiguration::attach(Cluster& cluster) {
   declined_low_idle_ = 0;
   declined_no_candidate_ = 0;
   drains_timed_out_ = 0;
+  reservations_failed_ = 0;
 }
 
 void VReconfiguration::on_node_pressure(Cluster& cluster, Workstation& node) {
@@ -110,7 +111,7 @@ std::optional<NodeId> VReconfiguration::pick_reservation_candidate(Cluster& clus
   Bytes best_idle = 0;
   for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
     const Workstation& node = cluster.node(static_cast<NodeId>(i));
-    if (node.reserved() || node.id() == pressured) continue;
+    if (node.failed() || node.reserved() || node.id() == pressured) continue;
     if (node.incoming_count() > 0) continue;  // placements already in flight
     const int jobs = node.active_jobs();
     const Bytes idle = node.idle_memory();
@@ -134,7 +135,9 @@ RunningJob* VReconfiguration::find_cluster_big_job(Cluster& cluster, NodeId* src
   RunningJob* best = nullptr;
   for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
     Workstation& node = cluster.node(static_cast<NodeId>(i));
-    if (node.reserved() || node.overcommit() < options_.min_overcommit) continue;
+    if (node.failed() || node.reserved() || node.overcommit() < options_.min_overcommit) {
+      continue;
+    }
     RunningJob* candidate = node.most_memory_intensive_job();
     if (candidate == nullptr || candidate->demand < big_threshold) continue;
     if (!best || candidate->demand > best->demand) {
@@ -155,6 +158,7 @@ VReconfiguration::Reservation* VReconfiguration::find_usable_reservation(Cluster
                                                                          Bytes demand) {
   for (Reservation& reservation : reservations_) {
     Workstation& node = cluster.node(reservation.node);
+    if (node.failed()) continue;
     const bool drained =
         reservation.state == ReservationState::kServing || node.active_jobs() == 0;
     if (drained && node.has_free_slot() && node.idle_memory() >= demand) return &reservation;
@@ -200,6 +204,7 @@ std::vector<std::pair<std::string, double>> VReconfiguration::stats() const {
   stats.emplace_back("declined_idle", static_cast<double>(declined_low_idle_));
   stats.emplace_back("declined_candidate", static_cast<double>(declined_no_candidate_));
   stats.emplace_back("drains_timed_out", static_cast<double>(drains_timed_out_));
+  stats.emplace_back("reservations_failed", static_cast<double>(reservations_failed_));
   return stats;
 }
 
@@ -214,12 +219,27 @@ void VReconfiguration::on_job_completed(Cluster& cluster,
   maintain_reservations(cluster);
 }
 
+void VReconfiguration::on_node_failed(Cluster& cluster, NodeId node) {
+  (void)node;
+  maintain_reservations(cluster);  // abandons a reservation on the dead node
+}
+
 void VReconfiguration::maintain_reservations(Cluster& cluster) {
   const SimTime now = cluster.simulator().now();
 
   for (std::size_t i = 0; i < reservations_.size();) {
     Reservation& reservation = reservations_[i];
     Workstation& node = cluster.node(reservation.node);
+
+    if (node.failed()) {
+      // The reserved workstation died: drop the reservation flag so the node
+      // rejoins the pool when it recovers. Any big job it was serving has
+      // already been killed and re-enqueued by the cluster.
+      release_reservation(cluster, reservation);
+      ++reservations_failed_;
+      reservations_.erase(reservations_.begin() + static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
 
     if (reservation.state == ReservationState::kDraining) {
       if (now - last_blocking_seen_ > options_.blocking_resolve_timeout) {

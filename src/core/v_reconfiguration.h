@@ -83,10 +83,15 @@ class VReconfiguration : public GLoadSharing {
   void on_node_pressure(Cluster& cluster, Workstation& node) override;
   void on_periodic(Cluster& cluster) override;
   void on_job_completed(Cluster& cluster, const cluster::CompletedJob& record) override;
+  /// A reserved workstation can fail mid-drain or mid-service; the
+  /// reservation is abandoned immediately (a later blocking event re-reserves
+  /// on a live node) instead of waiting for a drain that can never finish.
+  void on_node_failed(Cluster& cluster, NodeId node) override;
 
   // --- reconfiguration statistics ---
   std::uint64_t reservations_started() const { return reservations_started_; }
   std::uint64_t reservations_cancelled() const { return reservations_cancelled_; }
+  std::uint64_t reservations_failed() const { return reservations_failed_; }
   std::uint64_t reserved_migrations() const { return reserved_migrations_; }
   int active_reservations() const { return static_cast<int>(reservations_.size()); }
   std::vector<std::pair<std::string, double>> stats() const override;
@@ -142,6 +147,7 @@ class VReconfiguration : public GLoadSharing {
   std::uint64_t declined_low_idle_ = 0;
   std::uint64_t declined_no_candidate_ = 0;
   std::uint64_t drains_timed_out_ = 0;
+  std::uint64_t reservations_failed_ = 0;  // abandoned because the node died
 };
 
 }  // namespace vrc::core

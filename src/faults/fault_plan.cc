@@ -1,0 +1,107 @@
+#include "faults/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/rng.h"
+
+namespace vrc::faults {
+
+namespace {
+
+/// Mixes the cluster seed into a distinct stream id for the fault schedule,
+/// so faults and workload randomness never share a stream even when
+/// fault_seed is left at its derive-from-seed default.
+constexpr std::uint64_t kFaultStreamSalt = 0xFA17FA17FA17FA17ULL;
+
+bool windows_overlap(const FaultEntry& a, const FaultEntry& b) {
+  return a.node == b.node && a.at < b.at + b.duration && b.at < a.at + a.duration;
+}
+
+}  // namespace
+
+bool FaultPlan::validate(const std::vector<FaultEntry>& entries, std::size_t num_nodes,
+                         std::string* error) {
+  for (const FaultEntry& entry : entries) {
+    std::ostringstream message;
+    if (static_cast<std::size_t>(entry.node) >= num_nodes) {
+      message << "fault: node " << entry.node << " out of range (cluster has " << num_nodes
+              << " nodes)";
+    } else if (entry.at < 0.0) {
+      message << "fault: node " << entry.node << " crash time " << entry.at
+              << " must be >= 0";
+    } else if (entry.duration <= 0.0) {
+      message << "fault: node " << entry.node << " duration " << entry.duration
+              << " must be > 0";
+    } else {
+      continue;
+    }
+    if (error != nullptr) *error = message.str();
+    return false;
+  }
+  // Overlap check per node among the explicit windows: two overlapping
+  // scenario entries are almost certainly a typo, so reject instead of
+  // silently merging.
+  std::vector<FaultEntry> sorted = entries;
+  std::sort(sorted.begin(), sorted.end(), [](const FaultEntry& a, const FaultEntry& b) {
+    return a.node != b.node ? a.node < b.node : a.at < b.at;
+  });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (windows_overlap(sorted[i - 1], sorted[i])) {
+      if (error != nullptr) {
+        std::ostringstream message;
+        message << "fault: node " << sorted[i].node << " windows at t=" << sorted[i - 1].at
+                << " and t=" << sorted[i].at << " overlap";
+        *error = message.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+FaultPlan FaultPlan::materialize(const std::vector<FaultEntry>& entries,
+                                 const cluster::ClusterConfig& config, SimTime horizon) {
+  FaultPlan plan;
+  plan.windows_ = entries;
+
+  if (config.fault_mtbf > 0.0 && horizon > 0.0) {
+    const std::uint64_t seed =
+        config.fault_seed != 0 ? config.fault_seed : config.seed ^ kFaultStreamSalt;
+    sim::Rng root(seed);
+    for (std::size_t i = 0; i < config.num_nodes(); ++i) {
+      sim::Rng stream = root.fork();
+      SimTime t = 0.0;
+      while (true) {
+        t += stream.exponential(1.0 / config.fault_mtbf);
+        if (t >= horizon) break;
+        const SimTime repair = stream.exponential(1.0 / config.fault_mttr);
+        plan.windows_.push_back({static_cast<NodeId>(i), t, repair});
+        t += repair;
+      }
+    }
+  }
+
+  std::sort(plan.windows_.begin(), plan.windows_.end(),
+            [](const FaultEntry& a, const FaultEntry& b) {
+              return a.node != b.node ? a.node < b.node : a.at < b.at;
+            });
+  // Merge overlapping/touching windows per node (an explicit entry may land
+  // inside a generated outage): the node is simply down for the union.
+  std::vector<FaultEntry> merged;
+  merged.reserve(plan.windows_.size());
+  for (const FaultEntry& window : plan.windows_) {
+    if (!merged.empty() && merged.back().node == window.node &&
+        window.at <= merged.back().at + merged.back().duration) {
+      const SimTime end =
+          std::max(merged.back().at + merged.back().duration, window.at + window.duration);
+      merged.back().duration = end - merged.back().at;
+    } else {
+      merged.push_back(window);
+    }
+  }
+  plan.windows_ = std::move(merged);
+  return plan;
+}
+
+}  // namespace vrc::faults

@@ -1,0 +1,58 @@
+// Failure schedule of one simulation run.
+//
+// A FaultPlan is the concrete, fully deterministic list of per-node failure
+// windows a run will experience: explicit scenario entries ("crash node 2 at
+// t=100 for 60 s") plus windows drawn from a seeded per-node exponential
+// MTBF/MTTR generator. The generator uses its own RNG stream, independent of
+// the workload and paging randomness, so matched-pairs policy comparisons see
+// identical failure schedules (DESIGN.md §10).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/config.h"
+#include "util/units.h"
+#include "workload/job.h"
+
+namespace vrc::faults {
+
+using workload::NodeId;
+
+/// One failure window: `node` is down during [at, at + duration).
+struct FaultEntry {
+  NodeId node = 0;
+  SimTime at = 0.0;
+  SimTime duration = 0.0;
+
+  bool operator==(const FaultEntry&) const = default;
+};
+
+/// The materialized failure schedule: per-node sorted, non-overlapping
+/// windows. Empty plan == no faults (a run with an empty plan is bit-identical
+/// to one without any fault machinery).
+class FaultPlan {
+ public:
+  /// Checks explicit entries against a cluster of `num_nodes` workstations:
+  /// node index in range, at >= 0, duration > 0, and no two windows on the
+  /// same node overlapping. On failure writes a precise message to `error`.
+  static bool validate(const std::vector<FaultEntry>& entries, std::size_t num_nodes,
+                       std::string* error = nullptr);
+
+  /// Builds the schedule: `entries` plus, when config.fault_mtbf > 0, per-node
+  /// exponential up/down windows over [0, horizon). The generator stream is
+  /// seeded from config.fault_seed (or derived from config.seed when 0) and
+  /// forked once per node in node order, so one node's schedule does not
+  /// perturb another's. Overlapping or touching windows on a node are merged.
+  static FaultPlan materialize(const std::vector<FaultEntry>& entries,
+                               const cluster::ClusterConfig& config, SimTime horizon);
+
+  const std::vector<FaultEntry>& windows() const { return windows_; }
+  bool empty() const { return windows_.empty(); }
+
+ private:
+  std::vector<FaultEntry> windows_;
+};
+
+}  // namespace vrc::faults

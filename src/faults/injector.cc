@@ -1,0 +1,24 @@
+#include "faults/injector.h"
+
+#include "cluster/cluster.h"
+
+namespace vrc::faults {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, cluster::Cluster& cluster,
+                             const FaultPlan& plan)
+    : sim_(sim) {
+  events_.reserve(plan.windows().size() * 2);
+  for (const FaultEntry& window : plan.windows()) {
+    events_.push_back(sim_.schedule_at(
+        window.at, [&cluster, node = window.node] { cluster.fail_node(node); }));
+    events_.push_back(sim_.schedule_at(window.at + window.duration, [&cluster, node = window.node] {
+      cluster.recover_node(node);
+    }));
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  for (const sim::EventId id : events_) sim_.cancel(id);
+}
+
+}  // namespace vrc::faults

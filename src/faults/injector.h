@@ -1,0 +1,38 @@
+// Fault injector: drives a Cluster through a FaultPlan.
+//
+// Pure event plumbing — the state transitions (killing jobs, dropping
+// reservations, board updates) live in Cluster::fail_node / recover_node.
+// Construct one next to the Cluster before running the simulator; runs
+// without faults simply never construct an injector, which keeps the
+// no-faults event stream bit-identical to builds predating this subsystem.
+#pragma once
+
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "sim/simulator.h"
+
+namespace vrc::cluster {
+class Cluster;
+}
+
+namespace vrc::faults {
+
+/// Schedules one fail event at each window start and one recover event at its
+/// end. Owns its events and cancels them on destruction, so tearing down an
+/// injector mid-run never leaves a callback aimed at a dead cluster.
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, cluster::Cluster& cluster, const FaultPlan& plan);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  std::size_t windows_scheduled() const { return events_.size() / 2; }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<sim::EventId> events_;
+};
+
+}  // namespace vrc::faults

@@ -85,6 +85,21 @@ RunReport Collector::report(const std::string& trace_name, const std::string& po
   report.migrations = cluster_.migrations_started();
   report.remote_submits = cluster_.remote_submits();
   report.local_placements = cluster_.local_placements();
+
+  report.node_crashes = cluster_.node_crashes();
+  report.node_recoveries = cluster_.node_recoveries();
+  report.jobs_killed = cluster_.jobs_killed();
+  report.transfer_failures = cluster_.transfer_failures();
+  for (const cluster::CompletedJob& job : cluster_.completed()) {
+    report.job_restarts += static_cast<std::uint64_t>(job.restarts);
+  }
+  report.work_lost_cpu_seconds = cluster_.work_lost_cpu_seconds();
+  const SimTime now = cluster_.simulator().now();
+  report.downtime_node_seconds = cluster_.downtime_node_seconds(now);
+  const double node_seconds = static_cast<double>(cluster_.num_nodes()) * now;
+  report.availability =
+      node_seconds > 0.0 ? 1.0 - report.downtime_node_seconds / node_seconds : 1.0;
+
   report.jobs = cluster_.completed();
   return report;
 }

@@ -23,6 +23,14 @@ std::string describe(const RunReport& report) {
      << " MB, balance skew avg=" << report.avg_balance_skew << '\n';
   os << "  migrations=" << report.migrations << " remote=" << report.remote_submits
      << " local=" << report.local_placements << " faults=" << report.total_faults << '\n';
+  if (report.node_crashes > 0) {
+    os << "  crashes=" << report.node_crashes << " recoveries=" << report.node_recoveries
+       << " jobs_killed=" << report.jobs_killed << " restarts=" << report.job_restarts
+       << " transfer_failures=" << report.transfer_failures << '\n';
+    os << "  work lost=" << report.work_lost_cpu_seconds
+       << " cpu-s, downtime=" << report.downtime_node_seconds
+       << " node-s, availability=" << report.availability << '\n';
+  }
   if (!report.policy_stats.empty()) {
     os << "  policy:";
     for (const auto& [key, value] : report.policy_stats) os << ' ' << key << '=' << value;

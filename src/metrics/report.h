@@ -63,6 +63,19 @@ struct RunReport {
   std::uint64_t local_placements = 0;
   double total_faults = 0.0;
 
+  // Fault-injection outcomes (all zero on a fault-free run; DESIGN.md §10).
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_recoveries = 0;
+  std::uint64_t jobs_killed = 0;
+  std::uint64_t job_restarts = 0;  // sum of per-job restart counts
+  std::uint64_t transfer_failures = 0;
+  /// Reference-CPU seconds of completed work discarded by node failures.
+  double work_lost_cpu_seconds = 0.0;
+  /// Node-seconds the cluster spent down over the observation window.
+  double downtime_node_seconds = 0.0;
+  /// Fraction of node-time the cluster was up: 1 - downtime / (N * elapsed).
+  double availability = 1.0;
+
   // Policy-specific counters (SchedulerPolicy::stats()), filled by the
   // experiment runner.
   std::vector<std::pair<std::string, double>> policy_stats;

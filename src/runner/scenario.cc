@@ -48,7 +48,8 @@ bool parse_uint64(const std::string& value, std::uint64_t* out) {
 }
 
 constexpr const char* kKnownDirectives =
-    "trace, policy, cluster, nodes, set, trials, base_seed, sampling_interval, max_sim_time";
+    "trace, policy, cluster, nodes, set, fault, trials, base_seed, sampling_interval, "
+    "max_sim_time";
 
 }  // namespace
 
@@ -112,6 +113,63 @@ bool ScenarioSpec::apply_line(const std::string& raw, std::string* error) {
     }
     return true;
   }
+  if (directive == "fault") {
+    // fault crash node=<index> at=<time> for=<duration>
+    std::istringstream in(arg);
+    std::string kind;
+    in >> kind;
+    if (kind != "crash") {
+      return fail(error, "fault kind '" + kind +
+                             "' unknown (expected: fault crash node=K at=T for=D)");
+    }
+    faults::FaultEntry entry;
+    bool have_node = false;
+    bool have_at = false;
+    bool have_for = false;
+    std::string token;
+    while (in >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return fail(error, "fault field '" + token + "' is not key=value (e.g. node=2)");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "node") {
+        std::uint64_t index = 0;
+        if (!parse_uint64(value, &index)) {
+          return fail(error, "fault node '" + value +
+                                 "' is not a non-negative int (e.g. node=2)");
+        }
+        entry.node = static_cast<workload::NodeId>(index);
+        have_node = true;
+      } else if (key == "at") {
+        double at = 0.0;
+        if (!parse_duration(value, &at) || at < 0.0) {
+          return fail(error, "fault at '" + value +
+                                 "' is not a non-negative duration (e.g. at=100)");
+        }
+        entry.at = at;
+        have_at = true;
+      } else if (key == "for") {
+        double duration = 0.0;
+        if (!parse_duration(value, &duration) || duration <= 0.0) {
+          return fail(error,
+                      "fault for '" + value + "' is not a positive duration (e.g. for=60)");
+        }
+        entry.duration = duration;
+        have_for = true;
+      } else {
+        return fail(error, "fault field '" + key + "' unknown (expected node=, at=, for=)");
+      }
+    }
+    if (!have_node || !have_at || !have_for) {
+      return fail(error,
+                  "fault crash needs node=, at=, and for= (e.g. fault crash node=2 at=100 "
+                  "for=60)");
+    }
+    faults.push_back(entry);
+    return true;
+  }
   if (directive == "trials") {
     long value = 0;
     if (!parse_positive_int(arg, &value)) {
@@ -165,6 +223,10 @@ bool ScenarioSpec::validate(std::string* error) const {
     if (!trace.validate(&nested)) {
       return fail(error, "trace spec '" + trace.print() + "': " + nested);
     }
+  }
+  std::string fault_error;
+  if (!faults::FaultPlan::validate(faults, nodes, &fault_error)) {
+    return fail(error, fault_error);
   }
   return true;
 }
@@ -255,6 +317,7 @@ std::optional<SweepGrid> to_grid(const ScenarioSpec& spec, std::string* error) {
   grid.base_seed = spec.base_seed;
   grid.experiment.collector.sampling_intervals = {spec.sampling_interval};
   grid.experiment.max_sim_time = spec.max_sim_time;
+  grid.experiment.fault_entries = spec.faults;
 
   // Trial expansion on the trace axis, trial-major. Trial 0 is the trace
   // exactly as specified (byte-identical to a trial-free run); trial t > 0

@@ -10,6 +10,7 @@
 //   policy v-reconf:early_release=0
 //   nodes 8
 //   set memory_threshold=0.9
+//   fault crash node=2 at=100 for=60
 //   trials 3
 //
 //   auto spec = runner::ScenarioSpec::load("paper_cluster1.scn", &error);
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "core/policy_registry.h"
+#include "faults/fault_plan.h"
 #include "runner/sweep_runner.h"
 #include "workload/trace_spec.h"
 
@@ -45,6 +47,10 @@ struct ScenarioSpec {
   /// cluster::ClusterConfig::apply_overrides key/value pairs, applied after
   /// the base cluster is built (DESIGN.md §9 lists the keys).
   std::map<std::string, std::string> config_overrides;
+  /// Explicit failure windows (`fault crash node=K at=T for=D` directives),
+  /// applied identically to every cell; the stochastic generator is
+  /// configured separately via `set fault.mtbf=...` (DESIGN.md §10).
+  std::vector<faults::FaultEntry> faults;
   /// Independent repetitions. Trial 0 runs each trace exactly as specified;
   /// trial t > 0 regenerates it with its effective seed shifted by t.
   int trials = 1;

@@ -105,6 +105,31 @@ TEST(ClusterTest, SimulatorDrainsAfterFinish) {
   EXPECT_NEAR(cluster.finish_time(), 1.0, 0.05);
 }
 
+TEST(ClusterTest, TeardownCancelsInFlightCallbacks) {
+  // Aborting a run mid-flight must not leave arrival or transfer-completion
+  // events aimed at a destroyed cluster (the sanitizer build flags the
+  // use-after-free this guards against).
+  sim::Simulator sim;
+  {
+    // Remote submission in flight at destruction (completes at t = 0.1).
+    ScriptedPolicy policy(ScriptedPolicy::Mode::kPlaceRemoteOn1);
+    Cluster cluster(sim, small_config(), policy);
+    cluster.submit_job(make_spec(1, 0.0, 5.0, megabytes(10)));
+    sim.run_until(0.05);
+  }
+  {
+    // Migration in flight, plus an arrival that has not fired yet.
+    ScriptedPolicy policy;
+    Cluster cluster(sim, small_config(), policy);
+    cluster.submit_job(make_spec(2, 0.06, 5.0, megabytes(10)));
+    cluster.submit_job(make_spec(3, 500.0, 5.0, megabytes(10)));
+    sim.run_until(0.2);
+    ASSERT_TRUE(cluster.start_migration(0, 2, 1));
+    sim.run_until(0.3);
+  }
+  sim.run();  // every orphaned event was cancelled; nothing fires
+}
+
 TEST(ClusterTest, PendingJobAccruesQueueTime) {
   sim::Simulator sim;
   ScriptedPolicy policy(ScriptedPolicy::Mode::kLeavePending);

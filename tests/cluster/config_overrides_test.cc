@@ -130,8 +130,9 @@ TEST(ApplyOverridesTest, OverrideKeyDocsMatchAcceptedKeys) {
   // Every documented scalar key must be accepted with a sample value of its
   // type, so DESIGN.md §9 cannot drift from the implementation.
   const std::map<std::string, std::string> sample = {
-      {"int", "4"},        {"double", "1.5"},   {"bool", "1"},
-      {"uint64", "7"},     {"bytes", "64MB"},   {"duration", "10ms"},
+      {"int", "4"},    {"double", "1.5"}, {"bool", "1"},
+      {"uint64", "7"}, {"bytes", "64MB"}, {"duration", "10ms"},
+      {"string", "lose"},  // the only string key is fault.restart: lose | resubmit
   };
   for (const auto& doc : ClusterConfig::override_keys()) {
     if (doc.key.rfind("node.", 0) == 0) continue;  // documented as a pattern

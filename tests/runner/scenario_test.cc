@@ -86,6 +86,73 @@ TEST(ScenarioSpecTest, ApplyLineRejectsEachFailureClassPrecisely) {
   EXPECT_EQ(spec.nodes, 16u);
 }
 
+TEST(ScenarioSpecTest, FaultDirectiveParsesIntoEntries) {
+  ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(spec.apply_line("fault crash node=2 at=100 for=60", &error)) << error;
+  ASSERT_TRUE(spec.apply_line("fault crash at=5m for=90 node=0", &error)) << error;  // any order
+  ASSERT_EQ(spec.faults.size(), 2u);
+  EXPECT_EQ(spec.faults[0], (faults::FaultEntry{2, 100.0, 60.0}));
+  EXPECT_EQ(spec.faults[1], (faults::FaultEntry{0, 300.0, 90.0}));
+}
+
+TEST(ScenarioSpecTest, FaultDirectiveRejectsEachFailureClassPrecisely) {
+  ScenarioSpec spec;
+  std::string error;
+  EXPECT_FALSE(spec.apply_line("fault freeze node=1 at=0 for=1", &error));
+  EXPECT_NE(error.find("fault kind 'freeze' unknown"), std::string::npos) << error;
+  EXPECT_FALSE(spec.apply_line("fault crash node2 at=0 for=1", &error));
+  EXPECT_NE(error.find("fault field 'node2' is not key=value"), std::string::npos) << error;
+  EXPECT_FALSE(spec.apply_line("fault crash node=two at=0 for=1", &error));
+  EXPECT_NE(error.find("fault node 'two' is not a non-negative int"), std::string::npos)
+      << error;
+  EXPECT_FALSE(spec.apply_line("fault crash node=1 at=-5 for=1", &error));
+  EXPECT_NE(error.find("fault at '-5' is not a non-negative duration"), std::string::npos)
+      << error;
+  EXPECT_FALSE(spec.apply_line("fault crash node=1 at=5 for=0", &error));
+  EXPECT_NE(error.find("fault for '0' is not a positive duration"), std::string::npos)
+      << error;
+  EXPECT_FALSE(spec.apply_line("fault crash node=1 at=5 temp=90", &error));
+  EXPECT_NE(error.find("fault field 'temp' unknown"), std::string::npos) << error;
+  EXPECT_FALSE(spec.apply_line("fault crash node=1 at=5", &error));
+  EXPECT_NE(error.find("fault crash needs node=, at=, and for="), std::string::npos) << error;
+  // None of the rejected lines may leave a partial entry behind.
+  EXPECT_TRUE(spec.faults.empty());
+}
+
+TEST(ScenarioSpecTest, ValidateCatchesFaultRangeAndOverlapAgainstNodeCount) {
+  std::string error;
+  // Node 9 does not exist in a 4-node cluster; caught at whole-spec
+  // validation because the node count can be set after the fault line.
+  EXPECT_FALSE(ScenarioSpec::parse("trace spec:trace=1\n"
+                                   "policy g-loadsharing\n"
+                                   "nodes 4\n"
+                                   "fault crash node=9 at=10 for=5\n",
+                                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("node 9 out of range (cluster has 4 nodes)"), std::string::npos)
+      << error;
+  EXPECT_FALSE(ScenarioSpec::parse("trace spec:trace=1\n"
+                                   "policy g-loadsharing\n"
+                                   "nodes 4\n"
+                                   "fault crash node=2 at=100 for=60\n"
+                                   "fault crash node=2 at=120 for=10\n",
+                                   &error)
+                   .has_value());
+  EXPECT_NE(error.find("windows at t=100 and t=120 overlap"), std::string::npos) << error;
+}
+
+TEST(ToGridTest, FaultEntriesReachTheExperimentOptions) {
+  ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(spec.apply_line("trace spec:trace=1", &error));
+  ASSERT_TRUE(spec.apply_line("policy g-loadsharing", &error));
+  ASSERT_TRUE(spec.apply_line("fault crash node=3 at=40 for=20", &error));
+  const auto grid = to_grid(spec, &error);
+  ASSERT_TRUE(grid.has_value()) << error;
+  EXPECT_EQ(grid->experiment.fault_entries, spec.faults);
+}
+
 TEST(ScenarioSpecTest, ParseReportsTheOffendingLineNumber) {
   std::string error;
   EXPECT_FALSE(ScenarioSpec::parse("trace spec:trace=1\n\npolicy gls\nnodes zero\n", &error)
