@@ -208,4 +208,56 @@ void BM_EndToEndFaultedRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndFaultedRun)->Unit(benchmark::kMillisecond);
 
+// Large-cluster scaling run: N workstations, 100 jobs per workstation
+// (10240 -> 1,024,000 jobs), submissions concentrated on the first N/32
+// homes so nearly every placement overflows the home node and goes through
+// the board's indexed submission scan. Short uniform jobs keep the run
+// placement-bound: jobs/s across the Arg sweep is the decision-cost scaling
+// curve quoted in EXPERIMENTS.md — roughly flat (sub-linear total cost)
+// now that placement is O(log n) and idle workstations skip their ticks,
+// where the pre-index linear scans degraded with the node count.
+void BM_EndToEndLargeRun(benchmark::State& state) {
+  using namespace vrc;
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  const std::size_t jobs = nodes * 100;
+  const std::size_t homes = std::max<std::size_t>(1, nodes / 32);
+  const SimTime window = 200.0;
+
+  std::vector<workload::JobSpec> specs;
+  specs.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    workload::JobSpec spec;
+    spec.id = static_cast<workload::JobId>(i + 1);
+    spec.program = "uniform";
+    spec.submit_time = window * static_cast<double>(i) / static_cast<double>(jobs);
+    spec.home_node = static_cast<workload::NodeId>(i % homes);
+    spec.cpu_seconds = 1.0;
+    spec.touch_rate = 0.0;  // no paging: measure scheduling, not fault service
+    spec.memory = workload::MemoryProfile::constant(megabytes(50));
+    specs.push_back(spec);
+  }
+  const workload::Trace trace("large-run", workload::WorkloadGroup::kSpec, window,
+                              std::move(specs));
+
+  auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, nodes);
+  config.tick = 0.1;                 // 10 ms ticks would swamp the placement signal
+  config.load_exchange_period = 5.0; // a 10k-node board refresh is O(n log n)
+
+  for (auto _ : state) {
+    auto report = core::run_policy_on_trace(core::PolicyKind::kGLoadSharing, trace, config);
+    if (report.jobs_completed != jobs) {
+      state.SkipWithError("large run did not drain");
+      break;
+    }
+    benchmark::DoNotOptimize(report.total_execution);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(jobs));
+}
+BENCHMARK(BM_EndToEndLargeRun)
+    ->Arg(32)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(10240)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace

@@ -10,8 +10,14 @@ accidental O(n) scan reintroduced on the event hot path.
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json [--factor 3.0]
+  check_bench_regression.py BASELINE.json CURRENT.json --require NAME ...
   check_bench_regression.py BASELINE.json CURRENT.json --list
   check_bench_regression.py --self-test
+
+--require NAME (repeatable) fails the gate unless the current run contains a
+benchmark whose run_name starts with NAME. The perf-smoke job requires
+BM_EndToEndLargeRun so the large-cluster scaling evidence can't be silently
+filtered out of the gated run.
 
 --list prints a delta table (baseline min, current min, ratio, signed %)
 for every benchmark in either file — including current-only ones the gate
@@ -65,6 +71,13 @@ def compare(baseline, current, factor):
             failures.append(f"{name}: {ratio:.2f}x slower than baseline "
                             f"(limit {factor:.1f}x)")
     return lines, failures
+
+
+def missing_required(current, required):
+    """Required names absent from the current run (prefix match on run_name,
+    so --require BM_EndToEndLargeRun covers every /Arg variant)."""
+    return [name for name in required
+            if not any(bench.startswith(name) for bench in current)]
 
 
 def delta_rows(baseline, current):
@@ -170,6 +183,15 @@ def self_test():
     check(abs(row_map["BM_Slow"][3] - 4.0) < 1e-9,
           f"BM_Slow ratio must be 4.0, got {row_map['BM_Slow'][3]}")
 
+    check(missing_required(current, ["BM_Fast", "BM_New"]) == [],
+          "--require must accept benchmarks present in the current run")
+    check(missing_required(current, ["BM_EndToEndLargeRun"]) ==
+          ["BM_EndToEndLargeRun"],
+          "--require must report absent benchmarks")
+    # Prefix match: BM_Slow covers BM_Slow/128-style arg variants.
+    check(missing_required({"BM_Slow/128": (1.0, "ns")}, ["BM_Slow"]) == [],
+          "--require must prefix-match Arg variants")
+
     table = format_delta_table(rows)
     check(len(table) == 2 + len(rows), "table must have header + one row each")
     check(any("+300.0%" in line for line in table),
@@ -192,6 +214,10 @@ def main():
     parser.add_argument("current", nargs="?")
     parser.add_argument("--factor", type=float, default=3.0,
                         help="fail when current_min > factor * baseline_min")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless the current run has a benchmark "
+                             "starting with NAME (repeatable)")
     parser.add_argument("--list", action="store_true",
                         help="print per-benchmark deltas without enforcing "
                              "the factor gate")
@@ -215,6 +241,8 @@ def main():
     lines, failures = compare(baseline, current, args.factor)
     for line in lines:
         print(line)
+    for name in missing_required(current, args.require):
+        failures.append(f"{name}: required benchmark missing from current run")
 
     if failures:
         print("\nPerf regression gate failed:", file=sys.stderr)

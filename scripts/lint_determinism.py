@@ -43,6 +43,7 @@ iterated" is NOT sufficient for unordered containers — prefer std::map).
 
 Usage:
   lint_determinism.py [--root DIR] [paths...]   # default: the five dirs above
+  lint_determinism.py --list-files              # print the scanned file set
   lint_determinism.py --self-test               # run the fixture self-test
 
 Exit status: 0 clean, 1 violations found, 2 internal/usage error.
@@ -328,6 +329,18 @@ def self_test(root):
     for violation in clean_findings:
         failures.append(f"clean.cc: unexpected finding: {violation}")
 
+    # Recursive discovery over the default paths must include the indexed
+    # cluster-state files: they maintain the heaps every placement decision
+    # reads, so a discovery regression would drop the most order-sensitive
+    # code from the lint.
+    scanned = {rel for _full, rel in collect_files(DEFAULT_PATHS, root)}
+    for required in ("src/cluster/cluster_index.h",
+                     "src/cluster/cluster_index.cc",
+                     "src/cluster/load_index.cc",
+                     "src/cluster/workstation.cc"):
+        if required not in scanned:
+            failures.append(f"default scan set is missing {required}")
+
     if failures:
         print("lint_determinism self-test FAILED:", file=sys.stderr)
         for failure in failures:
@@ -347,6 +360,9 @@ def main():
                         help="repository root (default: parent of this script)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the seeded-fixture self-test and exit")
+    parser.add_argument("--list-files", action="store_true",
+                        help="print the file set that would be scanned and "
+                             "exit (for auditing lint coverage)")
     args = parser.parse_args()
 
     root = args.root or os.path.dirname(
@@ -356,6 +372,14 @@ def main():
         return self_test(root)
 
     paths = args.paths or DEFAULT_PATHS
+    if args.list_files:
+        try:
+            for _full, rel in collect_files(paths, root):
+                print(rel)
+        except RuntimeError as err:
+            print(f"lint_determinism: {err}", file=sys.stderr)
+            return 2
+        return 0
     try:
         violations = run_lint(paths, root)
     except RuntimeError as err:

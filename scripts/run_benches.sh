@@ -21,6 +21,13 @@ cmake --build "${build_dir}" --target micro_sim_engine -j >/dev/null
   --benchmark_out_format=json \
   --benchmark_counters_tabular=true
 
+# The large-cluster scaling run is the evidence for the indexed-placement
+# rework; a baseline without it silently drops that coverage from the gate.
+if ! grep -q '"BM_EndToEndLargeRun/10240"' "${out_json}"; then
+  echo "error: ${out_json} is missing BM_EndToEndLargeRun/10240" >&2
+  exit 1
+fi
+
 # Fault-matrix table bench: deterministic policy-resilience sweep. Its JSON
 # gate coverage comes from BM_EndToEndFaultedRun above; running the table
 # binary here catches link/runtime breakage of the faults subsystem in the

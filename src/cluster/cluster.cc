@@ -15,6 +15,8 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config, SchedulerPolicy& pol
       policy_(policy),
       network_(sim, config_),
       board_(config_.num_nodes()),
+      live_index_(config_.num_nodes(), ClusterIndex::Order::kMaxIdleMinJobs,
+                  ClusterIndex::Order::kMinPeak),
       rng_(config_.seed),
       last_pressure_callback_(config_.num_nodes(), -1e18),
       restart_policy_(parse_restart_policy(config_.fault_restart).value_or(RestartPolicy::kLose)),
@@ -23,6 +25,7 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config, SchedulerPolicy& pol
   for (std::size_t i = 0; i < config_.num_nodes(); ++i) {
     nodes_.push_back(
         std::make_unique<Workstation>(static_cast<NodeId>(i), config_.nodes[i], config_));
+    nodes_.back()->bind_index(&live_index_);
   }
   handle_exchange(sim_.now());  // policies see a fresh board before any event
   policy_.attach(*this);
@@ -244,6 +247,10 @@ void Cluster::fail_node(NodeId node_id) {
   const SimTime now = sim_.now();
   target.set_failed(true);
   failed_since_[node_id] = now;
+  // Pressure-callback state is meaningless across an outage: clear it so a
+  // stale "recently fired" stamp can neither suppress a legitimate callback
+  // after recovery nor date from a previous incarnation of the node.
+  last_pressure_callback_[node_id] = -1e18;
   ++node_crashes_;
   VRC_LOG(kInfo) << "t=" << now << " node " << node_id << " failed ("
                  << target.active_jobs() << " jobs killed)";
@@ -304,6 +311,7 @@ void Cluster::recover_node(NodeId node_id) {
   target.set_failed(false);
   downtime_accum_ += now - failed_since_[node_id];
   failed_since_[node_id] = -1.0;
+  last_pressure_callback_[node_id] = -1e18;
   ++node_recoveries_;
   VRC_LOG(kInfo) << "t=" << now << " node " << node_id << " recovered";
   board_.update(target.snapshot(now));
@@ -325,15 +333,6 @@ std::vector<RunningJob*> Cluster::pending_jobs() {
   return jobs;
 }
 
-Bytes Cluster::live_idle_memory() const {
-  Bytes total = 0;
-  for (const auto& node : nodes_) {
-    if (node->failed()) continue;
-    total += std::max<Bytes>(0, node->user_memory() - node->resident_demand());
-  }
-  return total;
-}
-
 std::vector<int> Cluster::live_active_jobs(bool skip_reserved) const {
   std::vector<int> counts;
   counts.reserve(nodes_.size());
@@ -351,10 +350,20 @@ void Cluster::add_finish_callback(std::function<void(SimTime)> callback) {
 
 void Cluster::handle_tick(SimTime now) {
   for (auto& node : nodes_) {
+    // Idle workstations (no jobs, settled fault EMA) are provably no-ops:
+    // skipping them keeps the tick loop proportional to busy nodes, which is
+    // what lets a 10k-node run pace with its job population instead of its
+    // node count.
+    if (!node->needs_tick()) continue;
     Workstation::TickOutcome outcome = node->tick(now, config_.tick, rng_);
     for (auto& done : outcome.completed) complete_job(std::move(done), now);
   }
   for (auto& node : nodes_) {
+    // needs_tick() false implies zero resident demand and zero fault rate —
+    // the node cannot be pressured. A *failed* node can still report
+    // pressure transiently (its fault EMA survives the crash), but it must
+    // never reach the policy: migrating off a dead node is nonsense.
+    if (!node->needs_tick() || node->failed()) continue;
     if (!node->memory_pressured()) continue;
     SimTime& last = last_pressure_callback_[node->id()];
     if (now - last < config_.pressure_callback_interval) continue;

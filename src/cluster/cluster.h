@@ -75,6 +75,12 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   Network& network() { return network_; }
   const LoadInfoBoard& board() const { return board_; }
+  /// Heap-indexed view of *live* workstation state (as opposed to the
+  /// board's stale snapshots), republished by each workstation on mutation.
+  /// First heap: (idle desc, jobs asc) for reservation candidates; second
+  /// heap: (future-committed peak asc) for oracle placement. Control-path
+  /// scans only — distributed policies must keep reading the board.
+  const ClusterIndex& live_index() const { return live_index_; }
   Workstation& node(NodeId id) { return *nodes_[id]; }
   const Workstation& node(NodeId id) const { return *nodes_[id]; }
   std::size_t num_nodes() const { return nodes_.size(); }
@@ -89,9 +95,10 @@ class Cluster {
   bool finished() const { return finished_; }
   SimTime finish_time() const { return finish_time_; }
 
-  /// Live (not board-snapshot) cluster-wide idle memory; used by metric
-  /// samplers, not by policies.
-  Bytes live_idle_memory() const;
+  /// Live (not board-snapshot) cluster-wide idle memory over non-failed
+  /// nodes; an O(1) running total from the live index. Used by metric
+  /// samplers and the reconfiguration trigger's fresh-view check.
+  Bytes live_idle_memory() const { return live_index_.total_available(); }
   /// Live active-job counts, optionally skipping reserved nodes (the paper's
   /// job-balance skew is over non-reserved workstations).
   std::vector<int> live_active_jobs(bool skip_reserved) const;
@@ -130,6 +137,7 @@ class Cluster {
   SchedulerPolicy& policy_;
   Network network_;
   LoadInfoBoard board_;
+  ClusterIndex live_index_;
   sim::Rng rng_;
 
   std::vector<std::unique_ptr<Workstation>> nodes_;

@@ -1,0 +1,130 @@
+#include "cluster/cluster_index.h"
+
+namespace vrc::cluster {
+
+void IndexedHeap::upsert(NodeId node, Key key) {
+  const std::int32_t slot = pos_[node];
+  if (slot == kAbsent) {
+    heap_.push_back(Entry{key, node});
+    pos_[node] = static_cast<std::int32_t>(heap_.size() - 1);
+    sift_up(heap_.size() - 1);
+    return;
+  }
+  const std::size_t at = static_cast<std::size_t>(slot);
+  heap_[at].key = key;
+  sift_up(at);
+  sift_down(static_cast<std::size_t>(pos_[node]));
+}
+
+void IndexedHeap::erase(NodeId node) {
+  const std::int32_t slot = pos_[node];
+  if (slot == kAbsent) return;
+  const std::size_t at = static_cast<std::size_t>(slot);
+  const std::size_t last = heap_.size() - 1;
+  pos_[node] = kAbsent;
+  if (at != last) {
+    const NodeId moved = heap_[last].node;
+    place(at, heap_[last]);
+    heap_.pop_back();
+    sift_up(at);
+    sift_down(static_cast<std::size_t>(pos_[moved]));
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void IndexedHeap::sift_up(std::size_t slot) {
+  Entry entry = heap_[slot];
+  while (slot > 0) {
+    const std::size_t parent = (slot - 1) / 2;
+    if (!precedes(entry, heap_[parent])) break;
+    place(slot, heap_[parent]);
+    slot = parent;
+  }
+  place(slot, entry);
+}
+
+void IndexedHeap::sift_down(std::size_t slot) {
+  Entry entry = heap_[slot];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * slot + 1;
+    if (child >= n) break;
+    if (child + 1 < n && precedes(heap_[child + 1], heap_[child])) ++child;
+    if (!precedes(heap_[child], entry)) break;
+    place(slot, heap_[child]);
+    slot = child;
+  }
+  place(slot, entry);
+}
+
+ClusterIndex::ClusterIndex(std::size_t num_nodes, Order first, Order second)
+    : first_order_(first),
+      second_order_(second),
+      idle_(num_nodes, 0),
+      available_(num_nodes, 0),
+      peak_(num_nodes, 0),
+      user_(num_nodes, 0),
+      active_(num_nodes, 0),
+      slots_(num_nodes, 0),
+      flags_(num_nodes, 0),
+      live_count_(num_nodes),
+      first_(num_nodes),
+      second_(num_nodes) {
+  // All nodes start live with zeroed load, mirroring a fresh board/cluster.
+  for (NodeId node = 0; node < num_nodes; ++node) {
+    first_.upsert(node, key_for(first_order_, NodeState{}));
+    second_.upsert(node, key_for(second_order_, NodeState{}));
+  }
+}
+
+IndexedHeap::Key ClusterIndex::key_for(Order order, const NodeState& state) {
+  // Min-heap keys: descending components negated, ascending kept as-is.
+  switch (order) {
+    case Order::kMinSlotsMaxIdle:
+      return {state.slots_used, -state.idle};
+    case Order::kMaxIdle:
+      return {-state.idle, 0};
+    case Order::kMaxIdleMinJobs:
+      return {-state.idle, state.active_jobs};
+    case Order::kMinPeak:
+      return {state.peak, 0};
+  }
+  return {};
+}
+
+void ClusterIndex::publish(NodeId node, const NodeState& state) {
+  const bool was_failed = failed(node);
+  if (!was_failed) {
+    total_idle_ -= idle_[node];
+    total_available_ -= available_[node];
+    total_user_ -= user_[node];
+    --live_count_;
+  }
+  idle_[node] = state.idle;
+  available_[node] = state.available;
+  peak_[node] = state.peak;
+  user_[node] = state.user;
+  active_[node] = state.active_jobs;
+  slots_[node] = state.slots_used;
+  flags_[node] = static_cast<std::uint8_t>((state.failed ? kFailedFlag : 0) |
+                                           (state.reserved ? kReservedFlag : 0) |
+                                           (state.pressured ? kPressuredFlag : 0));
+  if (!state.failed) {
+    total_idle_ += state.idle;
+    total_available_ += state.available;
+    total_user_ += state.user;
+    ++live_count_;
+  }
+  // Failed and reserved nodes leave the heaps entirely — every placement scan
+  // skips both, so paying per-query filter probes for them would be waste.
+  if (state.failed || state.reserved) {
+    first_.erase(node);
+    second_.erase(node);
+  } else {
+    first_.upsert(node, key_for(first_order_, state));
+    second_.upsert(node, key_for(second_order_, state));
+  }
+}
+
+}  // namespace vrc::cluster

@@ -1,0 +1,218 @@
+// Indexed cluster state for O(log n) placement decisions.
+//
+// Every scheduling decision in the paper's framework is a "best workstation
+// under a filter" query: least-loaded submission target, largest-idle
+// migration destination, reservation candidate, least-future-committed oracle
+// placement. The original implementation answered each with an O(nodes)
+// linear walk, which was fine for the paper's 32 workstations and is not for
+// the 10k-node clusters the roadmap targets.
+//
+// ClusterIndex keeps the per-node load quantities in cache-friendly parallel
+// arrays (structure-of-arrays) and maintains two IndexedHeaps over them, each
+// ordered by one of the key schemas the policies actually rank by. Heaps
+// support in-place key decrease/increase through a node -> slot position map,
+// so every publish is O(log n) and every query is exact: `best(filter)`
+// returns precisely the node the old linear scan would have picked, because
+// each key schema is a *total* order (ties broken by ascending node id, which
+// is the tie-break a first-match linear walk over node order implements).
+//
+// Failed and reserved workstations are evicted from both heaps instead of
+// being skipped per scan — a crashed node costs nothing at decision time, and
+// rejoins the heaps when it recovers (DESIGN.md §11).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/units.h"
+#include "workload/job.h"
+
+namespace vrc::cluster {
+
+using workload::NodeId;
+
+/// Binary min-heap over per-node keys with a position map for in-place
+/// updates. "Smaller key" means "better candidate"; descending components are
+/// encoded by negating them. The final tie-break is the ascending node id
+/// stored in the entry, making the order total.
+class IndexedHeap {
+ public:
+  struct Key {
+    std::int64_t primary = 0;
+    std::int64_t secondary = 0;
+  };
+
+  explicit IndexedHeap(std::size_t num_nodes) : pos_(num_nodes, kAbsent) {}
+
+  bool contains(NodeId node) const { return pos_[node] != kAbsent; }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Inserts `node` or moves it to its new key in place (sifting whichever
+  /// direction the key changed toward).
+  void upsert(NodeId node, Key key);
+
+  /// Removes `node`; no-op when absent (e.g. failing an already-evicted
+  /// reserved node).
+  void erase(NodeId node);
+
+  /// The best (minimum-key) node satisfying `keep`, or nullopt. Exact: a
+  /// pruned depth-first walk of the heap array that descends only through
+  /// entries still able to beat the current best, so the returned node is the
+  /// true optimum over the filtered set — not an approximation. Typical cost
+  /// is O(log n) plus one probe per better-keyed node the filter rejects;
+  /// the worst case (filter rejects everything) degrades to the old linear
+  /// scan, never below it.
+  template <typename Filter>
+  std::optional<NodeId> best(Filter&& keep) const {
+    scratch_.clear();
+    if (!heap_.empty()) scratch_.push_back(0);
+    std::size_t best_slot = 0;
+    bool found = false;
+    while (!scratch_.empty()) {
+      const std::size_t slot = scratch_.back();
+      scratch_.pop_back();
+      if (found && !precedes(heap_[slot], heap_[best_slot])) continue;
+      if (keep(heap_[slot].node)) {
+        // Heap property: every descendant key is >= this one, so nothing
+        // below can improve on a qualifying entry.
+        best_slot = slot;
+        found = true;
+        continue;
+      }
+      const std::size_t left = 2 * slot + 1;
+      if (left < heap_.size()) scratch_.push_back(left);
+      if (left + 1 < heap_.size()) scratch_.push_back(left + 1);
+    }
+    if (!found) return std::nullopt;
+    return heap_[best_slot].node;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    NodeId node = 0;
+  };
+
+  static constexpr std::int32_t kAbsent = -1;
+
+  static bool precedes(const Entry& a, const Entry& b) {
+    if (a.key.primary != b.key.primary) return a.key.primary < b.key.primary;
+    if (a.key.secondary != b.key.secondary) return a.key.secondary < b.key.secondary;
+    return a.node < b.node;
+  }
+
+  void sift_up(std::size_t slot);
+  void sift_down(std::size_t slot);
+  void place(std::size_t slot, Entry entry) {
+    heap_[slot] = entry;
+    pos_[entry.node] = static_cast<std::int32_t>(slot);
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::int32_t> pos_;  // node -> heap slot, kAbsent when evicted
+  /// Reused DFS stack for best(); mutable so const queries stay
+  /// allocation-free after warm-up (single-threaded by design, like the rest
+  /// of the simulation).
+  mutable std::vector<std::size_t> scratch_;
+};
+
+/// SoA view of per-node load state plus two policy-ordered heaps and O(1)
+/// cluster-wide aggregates over live (non-failed) nodes. Two instances exist
+/// per cluster run: one inside LoadInfoBoard mirroring the (stale) published
+/// snapshots the distributed schedulers rank by, and one inside Cluster
+/// mirroring live workstation state for the control-path scans
+/// (reservation candidates, oracle placement).
+class ClusterIndex {
+ public:
+  /// Key schema of one heap; each matches one policy scan's ranking exactly.
+  enum class Order {
+    kMinSlotsMaxIdle,  // (slots asc, idle desc, id asc) — submission targets
+    kMaxIdle,          // (idle desc, id asc)            — migration targets
+    kMaxIdleMinJobs,   // (idle desc, jobs asc, id asc)  — reservation candidates
+    kMinPeak,          // (peak asc, id asc)             — oracle placements
+  };
+
+  /// One node's published state. `idle` is committed-based idle memory
+  /// (reservation-aware), `available` is resident-based (what the §2.1
+  /// trigger accumulates), `peak` is the oracle's future-committed demand.
+  struct NodeState {
+    Bytes idle = 0;
+    Bytes available = 0;
+    Bytes peak = 0;
+    Bytes user = 0;
+    std::int32_t active_jobs = 0;
+    std::int32_t slots_used = 0;
+    bool failed = false;
+    bool reserved = false;
+    bool pressured = false;
+  };
+
+  ClusterIndex(std::size_t num_nodes, Order first, Order second);
+
+  /// Publishes `state` for `node`: rewrites the SoA row, folds the delta into
+  /// the live totals, and repositions the node in both heaps (evicting it
+  /// when failed or reserved, reinserting when it rejoins the pool).
+  void publish(NodeId node, const NodeState& state);
+
+  std::size_t size() const { return idle_.size(); }
+
+  // --- SoA accessors ---
+  Bytes idle(NodeId node) const { return idle_[node]; }
+  Bytes available(NodeId node) const { return available_[node]; }
+  Bytes peak(NodeId node) const { return peak_[node]; }
+  std::int32_t active_jobs(NodeId node) const { return active_[node]; }
+  std::int32_t slots_used(NodeId node) const { return slots_[node]; }
+  bool failed(NodeId node) const { return (flags_[node] & kFailedFlag) != 0; }
+  bool reserved(NodeId node) const { return (flags_[node] & kReservedFlag) != 0; }
+  bool pressured(NodeId node) const { return (flags_[node] & kPressuredFlag) != 0; }
+
+  // --- O(1) aggregates over live (non-failed) nodes ---
+  Bytes total_idle() const { return total_idle_; }
+  Bytes total_available() const { return total_available_; }
+  Bytes total_user() const { return total_user_; }
+  std::size_t live_count() const { return live_count_; }
+
+  // --- queries ---
+  template <typename Filter>
+  std::optional<NodeId> best_first(Filter&& keep) const {
+    return first_.best(keep);
+  }
+  template <typename Filter>
+  std::optional<NodeId> best_second(Filter&& keep) const {
+    return second_.best(keep);
+  }
+
+  const IndexedHeap& first_heap() const { return first_; }
+  const IndexedHeap& second_heap() const { return second_; }
+
+ private:
+  static constexpr std::uint8_t kFailedFlag = 1;
+  static constexpr std::uint8_t kReservedFlag = 2;
+  static constexpr std::uint8_t kPressuredFlag = 4;
+
+  static IndexedHeap::Key key_for(Order order, const NodeState& state);
+
+  Order first_order_;
+  Order second_order_;
+
+  // Parallel arrays (SoA): one cache-friendly row per node.
+  std::vector<Bytes> idle_;
+  std::vector<Bytes> available_;
+  std::vector<Bytes> peak_;
+  std::vector<Bytes> user_;
+  std::vector<std::int32_t> active_;
+  std::vector<std::int32_t> slots_;
+  std::vector<std::uint8_t> flags_;
+
+  Bytes total_idle_ = 0;
+  Bytes total_available_ = 0;
+  Bytes total_user_ = 0;
+  std::size_t live_count_ = 0;
+
+  IndexedHeap first_;
+  IndexedHeap second_;
+};
+
+}  // namespace vrc::cluster

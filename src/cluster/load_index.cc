@@ -4,24 +4,46 @@
 
 namespace vrc::cluster {
 
+LoadInfoBoard::LoadInfoBoard(std::size_t num_nodes)
+    : infos_(num_nodes),
+      index_(num_nodes, ClusterIndex::Order::kMinSlotsMaxIdle, ClusterIndex::Order::kMaxIdle) {
+  for (NodeId node = 0; node < num_nodes; ++node) infos_[node].node = node;
+}
+
+void LoadInfoBoard::update(const LoadInfo& info) {
+  infos_[info.node] = info;
+  publish(info.node);
+}
+
 void LoadInfoBoard::note_placement(NodeId node, Bytes estimated_demand) {
   LoadInfo& info = infos_[node];
   ++info.slots_used;
   info.total_demand += estimated_demand;
   info.idle_memory = std::max<Bytes>(0, info.idle_memory - estimated_demand);
+  publish(node);
 }
 
-Bytes LoadInfoBoard::cluster_idle_memory() const {
-  Bytes total = 0;
-  for (const LoadInfo& info : infos_) total += info.idle_memory;
-  return total;
+void LoadInfoBoard::set_reserved(NodeId node, bool reserved) {
+  infos_[node].reserved = reserved;
+  publish(node);
 }
 
 Bytes LoadInfoBoard::average_user_memory() const {
-  if (infos_.empty()) return 0;
-  Bytes total = 0;
-  for (const LoadInfo& info : infos_) total += info.user_memory;
-  return total / static_cast<Bytes>(infos_.size());
+  if (index_.live_count() == 0) return 0;
+  return index_.total_user() / static_cast<Bytes>(index_.live_count());
+}
+
+void LoadInfoBoard::publish(NodeId node) {
+  const LoadInfo& info = infos_[node];
+  ClusterIndex::NodeState state;
+  state.idle = info.idle_memory;
+  state.user = info.user_memory;
+  state.active_jobs = info.active_jobs;
+  state.slots_used = info.slots_used;
+  state.failed = info.failed;
+  state.reserved = info.reserved;
+  state.pressured = info.pressured;
+  index_.publish(node, state);
 }
 
 }  // namespace vrc::cluster

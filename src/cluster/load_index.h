@@ -6,11 +6,18 @@
 // We model one shared board refreshed every load_exchange_period; policies
 // read these (possibly stale) snapshots, never live node state, which
 // reproduces the staleness a real system would see.
+//
+// The board keeps an incremental ClusterIndex over the published snapshots:
+// placement scans query the index's heaps instead of walking all entries, and
+// the §2.1 aggregates (cluster idle memory, average user memory) are O(1)
+// running totals over *live* nodes — a crashed node's stale snapshot no
+// longer leaks into the reconfiguration trigger.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "cluster/cluster_index.h"
 #include "util/units.h"
 #include "workload/job.h"
 
@@ -36,9 +43,9 @@ struct LoadInfo {
 /// The shared snapshot table.
 class LoadInfoBoard {
  public:
-  explicit LoadInfoBoard(std::size_t num_nodes) : infos_(num_nodes) {}
+  explicit LoadInfoBoard(std::size_t num_nodes);
 
-  void update(const LoadInfo& info) { infos_[info.node] = info; }
+  void update(const LoadInfo& info);
 
   /// Sender-side bookkeeping: every scheduler immediately accounts a
   /// placement it initiated (slot plus estimated demand) against its copy of
@@ -50,22 +57,31 @@ class LoadInfoBoard {
   /// Reservations are control-path actions coordinated by the
   /// reconfiguration routine, not subject to exchange staleness: the flag is
   /// reflected on the board immediately.
-  void set_reserved(NodeId node, bool reserved) { infos_[node].reserved = reserved; }
+  void set_reserved(NodeId node, bool reserved);
 
   const LoadInfo& info(NodeId node) const { return infos_[node]; }
   const std::vector<LoadInfo>& all() const { return infos_; }
   std::size_t size() const { return infos_.size(); }
 
-  /// Accumulated idle memory across the cluster — the quantity §2.1 compares
-  /// against the average user memory to decide whether reconfiguring can
-  /// help at all.
-  Bytes cluster_idle_memory() const;
+  /// Heap-indexed view of the snapshots. First heap: (slots asc, idle desc)
+  /// for submission targets; second heap: (idle desc) for migration targets.
+  /// Failed and reserved nodes are absent from both heaps.
+  const ClusterIndex& index() const { return index_; }
 
-  /// Average per-workstation user memory.
+  /// Accumulated idle memory across the *live* workstations — the quantity
+  /// §2.1 compares against the average user memory to decide whether
+  /// reconfiguring can help at all. Failed nodes' stale snapshots are
+  /// excluded: a crashed node contributes no usable idle memory.
+  Bytes cluster_idle_memory() const { return index_.total_idle(); }
+
+  /// Average per-workstation user memory over live nodes.
   Bytes average_user_memory() const;
 
  private:
+  void publish(NodeId node);
+
   std::vector<LoadInfo> infos_;
+  ClusterIndex index_;
 };
 
 }  // namespace vrc::cluster

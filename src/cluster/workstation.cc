@@ -45,10 +45,12 @@ RunningJob& Workstation::add_job(std::unique_ptr<RunningJob> job) {
   job->demand = job->demand_now();
   if (job->phase != JobPhase::kSuspended) {
     resident_bytes_ += job->demand;
+    peak_bytes_ += job->spec->working_set();
     ++active_count_;
   }
   if (job->phase == JobPhase::kRunning) ++runnable_count_;
   jobs_.push_back(std::move(job));
+  publish_index();
   return *jobs_.back();
 }
 
@@ -59,9 +61,11 @@ std::unique_ptr<RunningJob> Workstation::remove_job(JobId id) {
       jobs_.erase(it);
       if (job->phase != JobPhase::kSuspended) {
         resident_bytes_ -= job->demand;
+        peak_bytes_ -= job->spec->working_set();
         --active_count_;
       }
       if (job->phase == JobPhase::kRunning) --runnable_count_;
+      publish_index();
       return job;
     }
   }
@@ -76,15 +80,18 @@ void Workstation::set_job_phase(RunningJob& job, JobPhase phase) {
   if (job.phase == phase) return;
   if (job.phase != JobPhase::kSuspended) {
     resident_bytes_ -= job.demand;
+    peak_bytes_ -= job.spec->working_set();
     --active_count_;
   }
   if (job.phase == JobPhase::kRunning) --runnable_count_;
   job.phase = phase;
   if (phase != JobPhase::kSuspended) {
     resident_bytes_ += job.demand;
+    peak_bytes_ += job.spec->working_set();
     ++active_count_;
   }
   if (phase == JobPhase::kRunning) ++runnable_count_;
+  publish_index();
 }
 
 RunningJob* Workstation::most_memory_intensive_job() {
@@ -100,8 +107,10 @@ std::vector<std::unique_ptr<RunningJob>> Workstation::take_all_jobs() {
   std::vector<std::unique_ptr<RunningJob>> taken = std::move(jobs_);
   jobs_.clear();
   resident_bytes_ = 0;
+  peak_bytes_ = 0;
   active_count_ = 0;
   runnable_count_ = 0;
+  publish_index();
   return taken;
 }
 
@@ -109,12 +118,14 @@ void Workstation::clear_incoming() {
   incoming_.clear();
   incoming_count_ = 0;
   incoming_bytes_ = 0;
+  publish_index();
 }
 
 void Workstation::add_incoming(JobId id, Bytes demand) {
   incoming_.emplace_back(id, demand);
   ++incoming_count_;
   incoming_bytes_ += demand;
+  publish_index();
 }
 
 bool Workstation::remove_incoming(JobId id) {
@@ -123,6 +134,7 @@ bool Workstation::remove_incoming(JobId id) {
       --incoming_count_;
       incoming_bytes_ -= it->second;
       incoming_.erase(it);
+      publish_index();
       return true;
     }
   }
@@ -208,6 +220,7 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
       std::unique_ptr<RunningJob> done = std::move(jobs_[i]);
       jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
       resident_delta -= done->demand;
+      peak_bytes_ -= done->spec->working_set();
       --active_count_;
       --runnable_count_;
       outcome.completed.push_back(std::move(done));
@@ -234,22 +247,52 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
   // EMA of the fault rate with time constant fault_rate_tau.
   const double decay = std::exp(-dt / config_->fault_rate_tau);
   fault_rate_ = fault_rate_ * decay + (1.0 - decay) * (tick_faults / dt);
+  // An exponential decay never reaches zero in floating point, which would
+  // keep an otherwise-idle node ticking forever just to shave the EMA. Snap
+  // once the node is empty and the rate is far below any consumer's
+  // resolution (the only reader is the memory_pressured threshold compare),
+  // so needs_tick() can turn the node off.
+  if (jobs_.empty() && fault_rate_ < 1e-12) fault_rate_ = 0.0;
 
+  publish_index();
   return outcome;
 }
 
 bool Workstation::aggregates_consistent() const {
   Bytes resident = 0;
+  Bytes peak = 0;
   int active = 0;
   int runnable = 0;
   for (const auto& job : jobs_) {
     if (job->phase != JobPhase::kSuspended) {
       resident += job->demand;
+      peak += job->spec->working_set();
       ++active;
     }
     if (job->phase == JobPhase::kRunning) ++runnable;
   }
-  return resident == resident_bytes_ && active == active_count_ && runnable == runnable_count_;
+  return resident == resident_bytes_ && peak == peak_bytes_ && active == active_count_ &&
+         runnable == runnable_count_;
+}
+
+void Workstation::bind_index(ClusterIndex* index) {
+  live_index_ = index;
+  publish_index();
+}
+
+void Workstation::publish_index() {
+  if (live_index_ == nullptr) return;
+  ClusterIndex::NodeState state;
+  state.idle = idle_memory();
+  state.available = std::max<Bytes>(0, user_memory() - resident_bytes_);
+  state.peak = future_committed();
+  state.user = user_memory();
+  state.active_jobs = active_count_;
+  state.slots_used = slots_used();
+  state.failed = failed_;
+  state.reserved = reserved_;
+  state.pressured = memory_pressured();
+  live_index_->publish(id_, state);
 }
 
 LoadInfo Workstation::snapshot(SimTime now) const {

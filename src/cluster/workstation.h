@@ -42,6 +42,12 @@ class Workstation {
   /// Overcommit fraction O = max(0, (resident - user) / resident).
   double overcommit() const;
 
+  /// Committed demand with perfect knowledge: in-flight reservations plus
+  /// the *peak* working set of every resident job. The oracle admits against
+  /// this so no placement can grow into a collision; maintained incrementally
+  /// so oracle admission is O(1) instead of a rescan of the job list.
+  Bytes future_committed() const { return incoming_bytes_ + peak_bytes_; }
+
   // --- occupancy (O(1) aggregates) ---
   /// Jobs holding a CPU slot (running + migrating; suspended jobs are out).
   int active_jobs() const { return active_count_; }
@@ -65,11 +71,17 @@ class Workstation {
 
   // --- reservation flag (virtual reconfiguration) ---
   bool reserved() const { return reserved_; }
-  void set_reserved(bool reserved) { reserved_ = reserved; }
+  void set_reserved(bool reserved) {
+    reserved_ = reserved;
+    publish_index();
+  }
 
   // --- failure flag (fault injection; transitions driven by Cluster) ---
   bool failed() const { return failed_; }
-  void set_failed(bool failed) { failed_ = failed; }
+  void set_failed(bool failed) {
+    failed_ = failed;
+    publish_index();
+  }
 
   /// Removes and returns every resident job (fail transition: the node's
   /// memory image is gone). Aggregates reset to empty.
@@ -113,6 +125,19 @@ class Workstation {
   /// Advances the interval [now - dt, now]. Returns completed jobs.
   TickOutcome tick(SimTime now, SimTime dt, sim::Rng& rng);
 
+  /// True when tick() could have any observable effect: resident jobs to
+  /// advance, or a fault-rate EMA still decaying toward zero. An idle
+  /// workstation is provably a no-op (no job accounting, no RNG draws, zero
+  /// fault contribution), so Cluster::handle_tick skips it — the per-tick
+  /// cost scales with *busy* nodes, not cluster size.
+  bool needs_tick() const { return !jobs_.empty() || fault_rate_ != 0.0; }
+
+  /// Binds the cluster's live ClusterIndex; from then on the workstation
+  /// republishes its row after every state mutation (job lifecycle, phase
+  /// changes, incoming reservations, failure/reservation flips, ticks), so
+  /// control-path scans read an always-current indexed view.
+  void bind_index(ClusterIndex* index);
+
   /// Publishes the node's load snapshot.
   LoadInfo snapshot(SimTime now) const;
 
@@ -137,6 +162,9 @@ class Workstation {
   /// assertions to catch drift.
   bool aggregates_consistent() const;
 
+  /// Rewrites this node's row in the bound live index (no-op when unbound).
+  void publish_index();
+
   NodeId id_;
   NodeConfig hardware_;
   const ClusterConfig* config_;
@@ -148,6 +176,7 @@ class Workstation {
   // remove_job, set_job_phase, and the per-tick demand refresh), so the
   // admission/snapshot hot path never rescans the job list.
   Bytes resident_bytes_ = 0;  // sum of demand over non-suspended jobs
+  Bytes peak_bytes_ = 0;      // sum of spec working sets over non-suspended jobs
   int active_count_ = 0;      // non-suspended jobs
   int runnable_count_ = 0;    // jobs in phase kRunning
   int incoming_count_ = 0;
@@ -160,6 +189,10 @@ class Workstation {
   double total_faults_ = 0.0;
   SimTime cpu_busy_ = 0.0;
   std::uint64_t jobs_completed_ = 0;
+
+  /// Cluster-owned live index this node publishes into; null in unit tests
+  /// that exercise a workstation in isolation.
+  ClusterIndex* live_index_ = nullptr;
 };
 
 }  // namespace vrc::cluster

@@ -42,50 +42,38 @@ bool GLoadSharing::try_place(Cluster& cluster, RunningJob& job) {
 
 std::optional<NodeId> GLoadSharing::find_submission_target(Cluster& cluster, Bytes demand_hint,
                                                            NodeId exclude) const {
-  std::optional<NodeId> best;
-  int best_slots = 0;
-  Bytes best_idle = 0;
+  // Selection trusts the periodically-exchanged board: between exchanges
+  // every home scheduler sees the same "lightly loaded" candidates, so
+  // bursts of submissions herd onto them — the "unsuitable job submissions"
+  // with unknown demands that seed the blocking problem. The board's
+  // (slots asc, idle desc) heap returns exactly the node the old linear scan
+  // picked; failed and reserved entries are not in the heap at all.
+  const cluster::ClusterIndex& index = cluster.board().index();
   const int cpu_threshold = cluster.config().cpu_threshold;
-  for (const cluster::LoadInfo& info : cluster.board().all()) {
-    if (info.node == exclude) continue;
-    if (info.reserved || info.pressured || info.failed) continue;
-    if (info.slots_used >= cpu_threshold) continue;
-    if (info.idle_memory <= demand_hint) continue;
-    // Selection trusts the periodically-exchanged board: between exchanges
-    // every home scheduler sees the same "lightly loaded" candidates, so
-    // bursts of submissions herd onto them — the "unsuitable job
-    // submissions" with unknown demands that seed the blocking problem.
-    const bool better = !best || info.slots_used < best_slots ||
-                        (info.slots_used == best_slots && info.idle_memory > best_idle);
-    if (!better) continue;
-    best = info.node;
-    best_slots = info.slots_used;
-    best_idle = info.idle_memory;
-  }
-  return best;
+  return index.best_first([&](NodeId n) {
+    if (n == exclude || index.pressured(n)) return false;
+    if (index.slots_used(n) >= cpu_threshold) return false;
+    return index.idle(n) > demand_hint;
+  });
 }
 
 std::optional<NodeId> GLoadSharing::find_migration_target(Cluster& cluster,
                                                           const RunningJob& job,
                                                           NodeId exclude) const {
-  std::optional<NodeId> best;
-  Bytes best_idle = 0;
+  // Board-ranked (idle desc) with a live double-check: the destination must
+  // still qualify at migration time, not just at the last exchange.
+  const cluster::ClusterIndex& index = cluster.board().index();
   const int cpu_threshold = cluster.config().cpu_threshold;
-  for (const cluster::LoadInfo& info : cluster.board().all()) {
-    if (info.node == exclude) continue;
-    if (info.reserved || info.pressured || info.failed) continue;
-    if (info.slots_used >= cpu_threshold) continue;
-    if (info.idle_memory < job.demand) continue;
-    if (info.idle_memory <= best_idle) continue;
-    const Workstation& live = cluster.node(info.node);
+  return index.best_second([&](NodeId n) {
+    if (n == exclude || index.pressured(n)) return false;
+    if (index.slots_used(n) >= cpu_threshold) return false;
+    if (index.idle(n) <= 0 || index.idle(n) < job.demand) return false;
+    const Workstation& live = cluster.node(n);
     if (live.failed() || !live.has_free_slot() || live.reserved() || live.memory_pressured()) {
-      continue;
+      return false;
     }
-    if (live.idle_memory() < job.demand) continue;
-    best = info.node;
-    best_idle = info.idle_memory;
-  }
-  return best;
+    return live.idle_memory() >= job.demand;
+  });
 }
 
 bool GLoadSharing::try_migrate_from(Cluster& cluster, Workstation& node) {

@@ -3,12 +3,9 @@
 namespace vrc::core {
 
 Bytes OracleDemands::future_committed(const Workstation& node) const {
-  Bytes total = node.incoming_bytes();
-  for (const auto& job : node.jobs()) {
-    if (job->phase == cluster::JobPhase::kSuspended) continue;
-    total += job->spec->working_set();
-  }
-  return total;
+  // The workstation maintains this sum incrementally (reservations plus the
+  // peak working set of every resident job), so oracle admission is O(1).
+  return node.future_committed();
 }
 
 bool OracleDemands::oracle_accepts(const Cluster& cluster, const Workstation& node,
@@ -30,19 +27,12 @@ bool OracleDemands::try_place_oracle(Cluster& cluster, RunningJob& job) {
     cluster.place_local(job, home.id());
     return true;
   }
-  // Least future-committed workstation that can take the full peak.
-  std::optional<NodeId> best;
-  Bytes best_future = 0;
-  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
-    const Workstation& node = cluster.node(static_cast<NodeId>(i));
-    if (node.id() == home.id()) continue;
-    if (!oracle_accepts(cluster, node, peak)) continue;
-    const Bytes future = future_committed(node);
-    if (!best || future < best_future) {
-      best = node.id();
-      best_future = future;
-    }
-  }
+  // Least future-committed workstation that can take the full peak: the
+  // live index's min-peak heap, filtered by the oracle admission predicate.
+  const auto best = cluster.live_index().best_second([&](NodeId n) {
+    if (n == home.id()) return false;
+    return oracle_accepts(cluster, cluster.node(n), peak);
+  });
   if (best) {
     cluster.place_remote(job, *best);
     return true;

@@ -106,26 +106,16 @@ bool VReconfiguration::handle_blocking(Cluster& cluster, Workstation& node) {
 
 std::optional<NodeId> VReconfiguration::pick_reservation_candidate(Cluster& cluster,
                                                                    NodeId pressured) const {
-  std::optional<NodeId> best;
-  int best_jobs = 0;
-  Bytes best_idle = 0;
-  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
-    const Workstation& node = cluster.node(static_cast<NodeId>(i));
-    if (node.failed() || node.reserved() || node.id() == pressured) continue;
-    if (node.incoming_count() > 0) continue;  // placements already in flight
-    const int jobs = node.active_jobs();
-    const Bytes idle = node.idle_memory();
-    // Largest idle memory first (committed demand is the best observable
-    // proxy for how fast the reserving period completes — small residents
-    // are short-lived jobs, per the lifetime-prediction argument of [5]),
-    // then fewest jobs.
-    if (!best || idle > best_idle || (idle == best_idle && jobs < best_jobs)) {
-      best = node.id();
-      best_jobs = jobs;
-      best_idle = idle;
-    }
-  }
-  return best;
+  // Largest idle memory first (committed demand is the best observable
+  // proxy for how fast the reserving period completes — small residents
+  // are short-lived jobs, per the lifetime-prediction argument of [5]),
+  // then fewest jobs: exactly the live index's (idle desc, jobs asc) heap.
+  // Failed and already-reserved workstations are evicted from the heap.
+  const cluster::ClusterIndex& live = cluster.live_index();
+  return live.best_first([&](NodeId n) {
+    if (n == pressured) return false;
+    return cluster.node(n).incoming_count() == 0;  // no placements in flight
+  });
 }
 
 RunningJob* VReconfiguration::find_cluster_big_job(Cluster& cluster, NodeId* src) const {

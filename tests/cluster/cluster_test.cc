@@ -253,6 +253,93 @@ TEST(ClusterTest, PressureCallbackIsRateLimited) {
   EXPECT_LE(policy.pressure_events.size(), 11u);
 }
 
+TEST(ClusterTest, NoPressureCallbackForFailedNode) {
+  // Regression: a node whose fault-rate EMA was above threshold when it
+  // crashed used to keep triggering on_node_pressure while down — the policy
+  // would then try to migrate jobs off a dead workstation.
+  sim::Simulator sim;
+  ClusterConfig config = small_config();
+  config.fault_rate_threshold = 1e-9;  // any faulting at all reads as pressure
+  ScriptedPolicy policy;
+  Cluster cluster(sim, config, policy);
+  cluster.submit_job(make_spec(1, 0.0, 50.0, megabytes(250), 0, 100.0));
+  cluster.submit_job(make_spec(2, 0.0, 50.0, megabytes(250), 0, 100.0));
+  sim.run_until(5.0);
+  ASSERT_FALSE(policy.pressure_events.empty());
+  EXPECT_GT(cluster.node(0).fault_rate(), config.fault_rate_threshold);
+
+  cluster.fail_node(0);
+  policy.pressure_events.clear();
+  sim.run_until(10.0);
+  EXPECT_TRUE(policy.pressure_events.empty());
+
+  // Positive control: the EMA decays slowly (tau = 2 s), so once the node is
+  // back up it is still past the threshold and the callback — with its
+  // timestamp reset across the outage — must fire again promptly.
+  cluster.recover_node(0);
+  EXPECT_GT(cluster.node(0).fault_rate(), config.fault_rate_threshold);
+  sim.run_until(11.0);
+  EXPECT_FALSE(policy.pressure_events.empty());
+  for (NodeId node : policy.pressure_events) EXPECT_EQ(node, 0u);
+}
+
+TEST(ClusterTest, BoardAggregatesMatchLiveSumsDuringFaultWindow) {
+  // Regression: with node 1 down mid-run, the board totals right after an
+  // exchange must equal the sums over live nodes' snapshots — the crashed
+  // node's entry may contribute neither idle memory nor a share of the
+  // user-memory average.
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 0.0, 80.0, megabytes(60), 0));
+  cluster.submit_job(make_spec(2, 0.0, 80.0, megabytes(40), 2));
+  sim.run_until(2.0);
+  cluster.fail_node(1);
+  // Cross a load-exchange boundary so every live node republishes.
+  sim.run_until(2.0 + cluster.config().load_exchange_period + 0.1);
+
+  Bytes idle_sum = 0;
+  Bytes user_sum = 0;
+  std::size_t live = 0;
+  for (const LoadInfo& info : cluster.board().all()) {
+    if (info.failed) continue;
+    idle_sum += info.idle_memory;
+    user_sum += info.user_memory;
+    ++live;
+  }
+  ASSERT_EQ(live, 3u);
+  EXPECT_EQ(cluster.board().cluster_idle_memory(), idle_sum);
+  EXPECT_EQ(cluster.board().average_user_memory(), user_sum / static_cast<Bytes>(live));
+
+  // And the live-index totals see the failure immediately as well.
+  EXPECT_EQ(cluster.live_index().live_count(), 3u);
+  cluster.recover_node(1);
+  EXPECT_EQ(cluster.live_index().live_count(), 4u);
+}
+
+TEST(ClusterTest, LiveIndexFollowsJobLifecycle) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(2), policy);
+  const Bytes user = cluster.node(0).user_memory();
+  EXPECT_EQ(cluster.live_index().idle(0), user);
+  cluster.submit_job(make_spec(1, 0.0, 30.0, megabytes(50), 0));
+  sim.run_until(1.0);
+  EXPECT_EQ(cluster.live_index().active_jobs(0), 1);
+  EXPECT_EQ(cluster.live_index().idle(0), user - megabytes(50));
+  EXPECT_EQ(cluster.live_index().peak(0), megabytes(50));
+  // Suspension swaps the job out: the index row follows set_job_phase.
+  ASSERT_TRUE(cluster.suspend_job(0, 1));
+  EXPECT_EQ(cluster.live_index().active_jobs(0), 0);
+  EXPECT_EQ(cluster.live_index().idle(0), user);
+  EXPECT_EQ(cluster.live_index().peak(0), 0);
+  ASSERT_TRUE(cluster.resume_job(0, 1));
+  EXPECT_EQ(cluster.live_index().peak(0), megabytes(50));
+  sim.run_until(100.0);
+  EXPECT_EQ(cluster.live_index().active_jobs(0), 0);
+  EXPECT_EQ(cluster.live_index().idle(0), user);
+}
+
 TEST(ClusterTest, SubmitTraceSchedulesAllJobs) {
   sim::Simulator sim;
   ScriptedPolicy policy;

@@ -61,6 +61,64 @@ TEST(LoadInfoBoardTest, NotePlacementFloorsIdleAtZero) {
   EXPECT_EQ(board.info(0).idle_memory, 0);
 }
 
+TEST(LoadInfoBoardTest, ClusterIdleMemorySkipsFailedNodes) {
+  // Regression: a crashed node's stale snapshot used to keep contributing
+  // idle memory to the §2.1 reconfiguration trigger.
+  LoadInfoBoard board(3);
+  board.update(info_of(0, megabytes(50)));
+  board.update(info_of(1, megabytes(70)));
+  LoadInfo down = info_of(2, megabytes(200));
+  down.failed = true;
+  board.update(down);
+  EXPECT_EQ(board.cluster_idle_memory(), megabytes(120));
+
+  // The node recovering (fresh non-failed snapshot) rejoins the total.
+  board.update(info_of(2, megabytes(200)));
+  EXPECT_EQ(board.cluster_idle_memory(), megabytes(320));
+}
+
+TEST(LoadInfoBoardTest, AverageUserMemoryDividesByLiveCount) {
+  // Regression: the average used to divide by all nodes including dead ones,
+  // understating per-live-workstation memory during an outage.
+  LoadInfoBoard board(3);
+  board.update(info_of(0, 0, megabytes(368)));
+  board.update(info_of(1, 0, megabytes(112)));
+  LoadInfo down = info_of(2, 0, megabytes(368));
+  down.failed = true;
+  board.update(down);
+  EXPECT_EQ(board.average_user_memory(), megabytes(240));
+}
+
+TEST(LoadInfoBoardTest, AverageUserMemoryZeroWhenAllFailed) {
+  LoadInfoBoard board(2);
+  for (NodeId n = 0; n < 2; ++n) {
+    LoadInfo down = info_of(n, megabytes(10));
+    down.failed = true;
+    board.update(down);
+  }
+  EXPECT_EQ(board.average_user_memory(), 0);
+  EXPECT_EQ(board.cluster_idle_memory(), 0);
+}
+
+TEST(LoadInfoBoardTest, IndexTracksUpdatesAndPlacements) {
+  LoadInfoBoard board(3);
+  board.update(info_of(0, megabytes(100), megabytes(368), 1));
+  board.update(info_of(1, megabytes(200), megabytes(368), 2));
+  board.update(info_of(2, megabytes(150), megabytes(368), 0));
+  // Submission heap: fewest slots first (node 2), then idle desc.
+  EXPECT_EQ(*board.index().best_first([](NodeId) { return true; }), 2u);
+  // Migration heap: largest idle (node 1).
+  EXPECT_EQ(*board.index().best_second([](NodeId) { return true; }), 1u);
+  // Sender-side bookkeeping repositions the node in the heaps.
+  board.note_placement(2, megabytes(150));
+  EXPECT_EQ(board.index().slots_used(2), 1);
+  EXPECT_EQ(board.index().idle(2), 0);
+  EXPECT_EQ(*board.index().best_first([](NodeId) { return true; }), 0u);
+  // Reservation evicts from both heaps immediately.
+  board.set_reserved(1, true);
+  EXPECT_EQ(*board.index().best_second([](NodeId) { return true; }), 0u);
+}
+
 TEST(LoadInfoBoardTest, ExchangeOverwritesBookkeeping) {
   LoadInfoBoard board(1);
   board.update(info_of(0, megabytes(100)));
