@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "cluster/cluster.h"
+#include "core/baselines.h"
 #include "core/experiment.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -259,5 +260,55 @@ BENCHMARK(BM_EndToEndLargeRun)
     ->Arg(1024)
     ->Arg(10240)
     ->Unit(benchmark::kMillisecond);
+
+// Isolates the periodic state-propagation cost from job churn: N nodes, a
+// fixed 32-node busy set running everlasting jobs, no arrivals or
+// completions inside the measured window. Each iteration advances ten load
+// exchange periods (with all the ticks and policy rounds inside them).
+// Under the dirty-set exchange and active-set tick loop the per-period cost
+// tracks the busy-set size, not N, so time per iteration should stay flat
+// across the Arg sweep — the O(active) evidence the perf counters attribute
+// (DESIGN.md §12). The pre-PR-7 full-rebroadcast engine was linear in N
+// here (~40x from first to last Arg).
+void BM_ExchangeScaling(benchmark::State& state) {
+  using namespace vrc;
+  const std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  const std::size_t busy = 32;
+  const std::size_t jobs_per_node = 2;
+
+  auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, nodes);
+  config.tick = 0.1;
+  config.load_exchange_period = 0.5;
+
+  sim::Simulator sim;
+  core::LocalOnly policy;
+  cluster::Cluster cluster(sim, config, policy);
+  for (std::size_t i = 0; i < busy * jobs_per_node; ++i) {
+    workload::JobSpec spec;
+    spec.id = static_cast<workload::JobId>(i + 1);
+    spec.program = "everlasting";
+    spec.submit_time = 0.0;
+    spec.home_node = static_cast<workload::NodeId>(i % busy);
+    spec.cpu_seconds = 1e15;  // never completes: the busy set stays fixed
+    spec.touch_rate = 0.0;
+    spec.memory = workload::MemoryProfile::constant(megabytes(50));
+    cluster.submit_job(spec);
+  }
+  sim.run_until(1.0);  // placements settle; periodic tasks armed
+
+  const int periods_per_iteration = 10;
+  SimTime deadline = 1.0;
+  for (auto _ : state) {
+    deadline += periods_per_iteration * config.load_exchange_period;
+    sim.run_until(deadline);
+  }
+  benchmark::DoNotOptimize(cluster.board().cluster_idle_memory());
+  state.SetItemsProcessed(state.iterations() * periods_per_iteration);
+}
+BENCHMARK(BM_ExchangeScaling)
+    ->Arg(256)
+    ->Arg(2048)
+    ->Arg(10240)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace

@@ -18,6 +18,7 @@
 
 #include "cluster/config.h"
 #include "core/policy_registry.h"
+#include "metrics/perf_counters.h"
 #include "runner/scenario.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -56,6 +57,7 @@ int main(int argc, char** argv) {
   double max_sim_time = 0.0;
   int jobs = 0;
   bool csv = false;
+  bool perf_counters = false;
   bool list_policies = false;
   bool list_overrides = false;
 
@@ -75,6 +77,8 @@ int main(int argc, char** argv) {
                    "simulated-time safety cap in seconds (0: scenario default)");
   flags.add_int("jobs", &jobs, "parallel worker threads (0 = one per hardware thread)");
   flags.add_bool("csv", &csv, "emit CSV instead of an ASCII table");
+  flags.add_bool("perf-counters", &perf_counters,
+                 "collect engine perf counters across all runs and print them to stderr");
   flags.add_bool("list-policies", &list_policies,
                  "print every registered policy with its parameters, then exit");
   flags.add_bool("list-overrides", &list_overrides,
@@ -133,6 +137,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Enable before run_scenario so every cell's run_experiment captures; the
+  // counters are write-only observability and cannot change any result.
+  if (perf_counters) metrics::set_perf_capture_enabled(true);
+
   std::optional<runner::ScenarioRun> run = runner::run_scenario(spec, jobs, &error);
   if (!run) {
     std::fprintf(stderr, "vrc_run: %s\n", error.c_str());
@@ -175,5 +183,25 @@ int main(int argc, char** argv) {
     }
   }
   std::fputs(csv ? table.to_csv().c_str() : table.to_ascii().c_str(), stdout);
+
+  if (perf_counters) {
+    // stderr, so piping the table to a file or the golden-diff keeps working.
+    const metrics::PerfCounters totals = metrics::take_perf_aggregate();
+    std::fprintf(stderr, "perf counters (all trials/cells):\n");
+    for (const auto& [label, value] : totals.entries()) {
+      std::fprintf(stderr, "  %-24s %llu\n", label,
+                   static_cast<unsigned long long>(value));
+    }
+    if (totals.exchange_rounds > 0) {
+      std::fprintf(stderr, "  %-24s %.1f\n", "snapshots/exchange",
+                   static_cast<double>(totals.exchange_dirty_visited) /
+                       static_cast<double>(totals.exchange_rounds));
+    }
+    if (totals.tick_rounds > 0) {
+      std::fprintf(stderr, "  %-24s %.1f\n", "node_ticks/tick",
+                   static_cast<double>(totals.node_ticks) /
+                       static_cast<double>(totals.tick_rounds));
+    }
+  }
   return 0;
 }

@@ -10,14 +10,21 @@ accidental O(n) scan reintroduced on the event hot path.
 
 Usage:
   check_bench_regression.py BASELINE.json CURRENT.json [--factor 3.0]
+  check_bench_regression.py BASELINE.json CURRENT.json --factor-for NAME=2.0
   check_bench_regression.py BASELINE.json CURRENT.json --require NAME ...
   check_bench_regression.py BASELINE.json CURRENT.json --list
   check_bench_regression.py --self-test
 
 --require NAME (repeatable) fails the gate unless the current run contains a
 benchmark whose run_name starts with NAME. The perf-smoke job requires
-BM_EndToEndLargeRun so the large-cluster scaling evidence can't be silently
-filtered out of the gated run.
+BM_EndToEndLargeRun and BM_ExchangeScaling so the large-cluster scaling
+evidence can't be silently filtered out of the gated run.
+
+--factor-for NAME=FACTOR (repeatable) overrides the allowed factor for every
+benchmark whose name starts with NAME; the longest matching prefix wins.
+Long-running end-to-end benches average away runner noise that whipsaws the
+microbenches, so the perf-smoke job holds them to a tighter factor than the
+default 3x.
 
 --list prints a delta table (baseline min, current min, ratio, signed %)
 for every benchmark in either file — including current-only ones the gate
@@ -53,8 +60,33 @@ def min_times(path):
         return min_times_from_data(json.load(fh))
 
 
-def compare(baseline, current, factor):
+def effective_factor(name, factor, overrides):
+    """The allowed factor for `name`: the longest --factor-for prefix that
+    matches wins; the global --factor applies otherwise."""
+    best_prefix = None
+    best_factor = factor
+    for prefix, override in overrides.items():
+        if name.startswith(prefix):
+            if best_prefix is None or len(prefix) > len(best_prefix):
+                best_prefix = prefix
+                best_factor = override
+    return best_factor
+
+
+def parse_factor_overrides(pairs):
+    """Parses repeated NAME=FACTOR args into {prefix: factor}."""
+    overrides = {}
+    for pair in pairs:
+        prefix, sep, value = pair.rpartition("=")
+        if not sep or not prefix:
+            raise ValueError(f"--factor-for expects NAME=FACTOR, got {pair!r}")
+        overrides[prefix] = float(value)
+    return overrides
+
+
+def compare(baseline, current, factor, factor_overrides=None):
     """Returns (report_lines, failure_messages) for the gate mode."""
+    overrides = factor_overrides or {}
     lines = []
     failures = []
     for name, (base, unit) in sorted(baseline.items()):
@@ -62,14 +94,16 @@ def compare(baseline, current, factor):
         if entry is None:
             failures.append(f"{name}: missing from current run")
             continue
+        limit = effective_factor(name, factor, overrides)
         cur = entry[0]
         ratio = cur / base if base > 0 else float("inf")
-        status = "FAIL" if ratio > factor else "ok"
+        status = "FAIL" if ratio > limit else "ok"
         lines.append(f"{status:4} {name}: baseline {base:.1f} {unit}, "
-                     f"current {cur:.1f} {unit} ({ratio:.2f}x)")
-        if ratio > factor:
+                     f"current {cur:.1f} {unit} ({ratio:.2f}x, "
+                     f"limit {limit:.1f}x)")
+        if ratio > limit:
             failures.append(f"{name}: {ratio:.2f}x slower than baseline "
-                            f"(limit {factor:.1f}x)")
+                            f"(limit {limit:.1f}x)")
     return lines, failures
 
 
@@ -172,6 +206,32 @@ def self_test():
     check(not any("BM_Slow" in failure for failure in relaxed_failures),
           f"5x gate must pass BM_Slow at 4.00x, got {relaxed_failures}")
 
+    # Per-benchmark overrides: a loose global gate with a tight BM_Fast
+    # override must flag BM_Fast (2.50x > 2.0x) but not BM_Slow.
+    _lines, override_failures = compare(
+        baseline, current, factor=5.0, factor_overrides={"BM_Fast": 2.0})
+    check(any("BM_Fast" in failure and "2.50x" in failure
+              for failure in override_failures),
+          f"--factor-for BM_Fast=2.0 must flag BM_Fast, got {override_failures}")
+    check(not any("BM_Slow" in failure for failure in override_failures),
+          f"--factor-for must not affect other benchmarks, got {override_failures}")
+    # Prefix match with longest-prefix-wins over Arg variants.
+    check(effective_factor("BM_Fast/128", 3.0, {"BM_Fast": 2.0}) == 2.0,
+          "--factor-for must prefix-match Arg variants")
+    check(effective_factor("BM_Fast/128", 3.0,
+                           {"BM_Fast": 2.0, "BM_Fast/128": 1.5}) == 1.5,
+          "longest matching --factor-for prefix must win")
+    check(effective_factor("BM_Other", 3.0, {"BM_Fast": 2.0}) == 3.0,
+          "unmatched benchmarks must keep the global factor")
+    check(parse_factor_overrides(["BM_A=2.0", "BM_B=1.5"]) ==
+          {"BM_A": 2.0, "BM_B": 1.5},
+          "parse_factor_overrides must parse NAME=FACTOR pairs")
+    try:
+        parse_factor_overrides(["BM_NoFactor"])
+        check(False, "parse_factor_overrides must reject a pair without '='")
+    except ValueError:
+        pass
+
     rows = delta_rows(baseline, current)
     row_map = {row[0]: row for row in rows}
     check(set(row_map) == {"BM_Fast", "BM_Slow", "BM_Gone", "BM_New"},
@@ -214,6 +274,11 @@ def main():
     parser.add_argument("current", nargs="?")
     parser.add_argument("--factor", type=float, default=3.0,
                         help="fail when current_min > factor * baseline_min")
+    parser.add_argument("--factor-for", action="append", default=[],
+                        metavar="NAME=FACTOR",
+                        help="override the factor for benchmarks whose name "
+                             "starts with NAME; longest prefix wins "
+                             "(repeatable)")
     parser.add_argument("--require", action="append", default=[],
                         metavar="NAME",
                         help="fail unless the current run has a benchmark "
@@ -238,7 +303,12 @@ def main():
             print(line)
         return 0
 
-    lines, failures = compare(baseline, current, args.factor)
+    try:
+        overrides = parse_factor_overrides(args.factor_for)
+    except ValueError as err:
+        parser.error(str(err))
+
+    lines, failures = compare(baseline, current, args.factor, overrides)
     for line in lines:
         print(line)
     for name in missing_required(current, args.require):

@@ -8,10 +8,12 @@ linter rejects the usual sources at review time, before a seed-dependent
 heisendiff ever reaches the goldens.
 
 Scanned by default: src/sim, src/core, src/cluster, src/workload,
-src/runner, and src/faults — the modules whose execution order feeds the
-event loop, plus the parallel sweep/scenario layer whose cell ordering and
-seed derivation must be reproducible, plus the fault-injection subsystem
-whose failure schedules must replay bit-identically. Banned constructs:
+src/runner, src/faults, and src/metrics — the modules whose execution order
+feeds the event loop, plus the parallel sweep/scenario layer whose cell
+ordering and seed derivation must be reproducible, plus the fault-injection
+subsystem whose failure schedules must replay bit-identically, plus the
+metrics/perf-counter layer that instruments the hot paths (its one wall-clock
+read is justified inline: write-only observability). Banned constructs:
 
   wall-clock        std::chrono::{system,steady,high_resolution}_clock,
                     time(NULL)-style calls, clock(), gettimeofday(
@@ -56,7 +58,7 @@ import re
 import sys
 
 DEFAULT_PATHS = ["src/sim", "src/core", "src/cluster", "src/workload", "src/runner",
-                 "src/faults"]
+                 "src/faults", "src/metrics"]
 SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
 
 NOLINT_RE = re.compile(r"//\s*NOLINT-determinism\((?P<reason>[^)]*)\)")
@@ -337,7 +339,10 @@ def self_test(root):
     for required in ("src/cluster/cluster_index.h",
                      "src/cluster/cluster_index.cc",
                      "src/cluster/load_index.cc",
-                     "src/cluster/workstation.cc"):
+                     "src/cluster/workstation.cc",
+                     "src/cluster/node_activity.h",
+                     "src/metrics/perf_counters.h",
+                     "src/metrics/perf_counters.cc"):
         if required not in scanned:
             failures.append(f"default scan set is missing {required}")
 

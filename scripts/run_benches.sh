@@ -28,6 +28,13 @@ if ! grep -q '"BM_EndToEndLargeRun/10240"' "${out_json}"; then
   exit 1
 fi
 
+# The exchange-scaling run is the evidence for the dirty-set incremental
+# exchange + active-set tick loop (O(active), not O(n)); same rule.
+if ! grep -q '"BM_ExchangeScaling/10240"' "${out_json}"; then
+  echo "error: ${out_json} is missing BM_ExchangeScaling/10240" >&2
+  exit 1
+fi
+
 # Fault-matrix table bench: deterministic policy-resilience sweep. Its JSON
 # gate coverage comes from BM_EndToEndFaultedRun above; running the table
 # binary here catches link/runtime breakage of the faults subsystem in the

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "metrics/perf_counters.h"
 #include "util/log.h"
 
 namespace vrc::cluster {
@@ -17,6 +18,7 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config, SchedulerPolicy& pol
       board_(config_.num_nodes()),
       live_index_(config_.num_nodes(), ClusterIndex::Order::kMaxIdleMinJobs,
                   ClusterIndex::Order::kMinPeak),
+      activity_(config_.num_nodes()),
       rng_(config_.seed),
       last_pressure_callback_(config_.num_nodes(), -1e18),
       restart_policy_(parse_restart_policy(config_.fault_restart).value_or(RestartPolicy::kLose)),
@@ -25,6 +27,9 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config, SchedulerPolicy& pol
   for (std::size_t i = 0; i < config_.num_nodes(); ++i) {
     nodes_.push_back(
         std::make_unique<Workstation>(static_cast<NodeId>(i), config_.nodes[i], config_));
+    // bind_activity first: its publish marks every node dirty, so the
+    // constructor's exchange below performs the one full-board publish.
+    nodes_.back()->bind_activity(&activity_);
     nodes_.back()->bind_index(&live_index_);
   }
   handle_exchange(sim_.now());  // policies see a fresh board before any event
@@ -293,7 +298,8 @@ void Cluster::fail_node(NodeId node_id) {
     pending_.push_back(std::move(job));
   }
 
-  board_.update(target.snapshot(now));  // immediate broadcast, not next exchange
+  publish_to_board(target, now);  // immediate broadcast, not next exchange
+  metrics::perf_add(&metrics::PerfCounters::immediate_publishes);
   policy_.on_node_failed(*this, node_id);
   if (restart_policy_ == RestartPolicy::kResubmit) {
     // Re-enter the arrival path right away; under kLose the jobs wait for
@@ -314,7 +320,8 @@ void Cluster::recover_node(NodeId node_id) {
   last_pressure_callback_[node_id] = -1e18;
   ++node_recoveries_;
   VRC_LOG(kInfo) << "t=" << now << " node " << node_id << " recovered";
-  board_.update(target.snapshot(now));
+  publish_to_board(target, now);  // immediate broadcast, not next exchange
+  metrics::perf_add(&metrics::PerfCounters::immediate_publishes);
   policy_.on_node_recovered(*this, node_id);
 }
 
@@ -349,32 +356,76 @@ void Cluster::add_finish_callback(std::function<void(SimTime)> callback) {
 }
 
 void Cluster::handle_tick(SimTime now) {
-  for (auto& node : nodes_) {
-    // Idle workstations (no jobs, settled fault EMA) are provably no-ops:
-    // skipping them keeps the tick loop proportional to busy nodes, which is
-    // what lets a 10k-node run pace with its job population instead of its
-    // node count.
-    if (!node->needs_tick()) continue;
-    Workstation::TickOutcome outcome = node->tick(now, config_.tick, rng_);
+  metrics::ScopedPerfTimer wall(&metrics::PerfCounters::tick_wall_ns);
+  metrics::perf_add(&metrics::PerfCounters::tick_rounds);
+  // Only nodes with needs_tick() are visited — idle workstations (no jobs,
+  // settled fault EMA) are provably no-op ticks, and the active set keeps
+  // them out of the loop entirely, so a tick costs O(active), not O(n).
+  // Membership is exact at loop entry (publish_index refreshes it on every
+  // mutation); a node *activated mid-loop* by a completion callback is the
+  // one divergence from the old predicate-guarded full scan, and its tick
+  // would be a provable no-op (the new job's accounted_until == now, so
+  // wall == 0: no progress, no RNG draw, no EMA change) — skipping it is
+  // bit-identical. The needs_tick() re-check per visit covers nodes drained
+  // by an earlier visit's completion cascade.
+  std::uint64_t ticked = 0;
+  activity_.ticking.for_each([&](NodeId id) {
+    Workstation& target = *nodes_[id];
+    if (!target.needs_tick()) return;
+    ++ticked;
+    Workstation::TickOutcome outcome = target.tick(now, config_.tick, rng_);
     for (auto& done : outcome.completed) complete_job(std::move(done), now);
-  }
-  for (auto& node : nodes_) {
+  });
+  metrics::perf_add(&metrics::PerfCounters::node_ticks, ticked);
+  activity_.ticking.for_each([&](NodeId id) {
+    Workstation& target = *nodes_[id];
     // needs_tick() false implies zero resident demand and zero fault rate —
-    // the node cannot be pressured. A *failed* node can still report
-    // pressure transiently (its fault EMA survives the crash), but it must
-    // never reach the policy: migrating off a dead node is nonsense.
-    if (!node->needs_tick() || node->failed()) continue;
-    if (!node->memory_pressured()) continue;
-    SimTime& last = last_pressure_callback_[node->id()];
-    if (now - last < config_.pressure_callback_interval) continue;
+    // the node cannot be pressured (so restricting this loop to the active
+    // set drops no candidate). A *failed* node can still report pressure
+    // transiently (its fault EMA survives the crash), but it must never
+    // reach the policy: migrating off a dead node is nonsense.
+    if (!target.needs_tick() || target.failed()) return;
+    if (!target.memory_pressured()) return;
+    SimTime& last = last_pressure_callback_[id];
+    if (now - last < config_.pressure_callback_interval) return;
     last = now;
-    policy_.on_node_pressure(*this, *node);
-  }
+    metrics::perf_add(&metrics::PerfCounters::pressure_callbacks);
+    policy_.on_node_pressure(*this, target);
+  });
   maybe_finish(now);
 }
 
 void Cluster::handle_exchange(SimTime now) {
-  for (const auto& node : nodes_) board_.update(node->snapshot(now));
+  metrics::ScopedPerfTimer wall(&metrics::PerfCounters::exchange_wall_ns);
+  metrics::perf_add(&metrics::PerfCounters::exchange_rounds);
+  // Incremental exchange: republish only nodes that mutated since the last
+  // drain. A clean fault-free node's snapshot is value-identical to its
+  // existing board entry (every snapshot field derives from state whose
+  // mutations mark the node dirty, and the fault EMA keeps a node
+  // needs_tick-active — hence dirtied every tick — until it snaps to zero),
+  // so skipping it leaves the board bit-identical to a full rebroadcast.
+  // This is the stale-but-identical contract of DESIGN.md §12, enforced by
+  // tests/cluster/exchange_dirty_set_test.cc.
+  activity_.dirty.drain([&](NodeId id) {
+    metrics::perf_add(&metrics::PerfCounters::exchange_dirty_visited);
+    Workstation& target = *nodes_[id];
+    if (target.failed()) {
+      // The fail-time immediate broadcast is the node's one published
+      // transition while down: the board froze there (heaps already evicted
+      // it, aggregates exclude it), and recover_node re-syncs with another
+      // immediate broadcast — so no snapshot is built for a down node.
+      metrics::perf_add(&metrics::PerfCounters::exchange_failed_skips);
+      return true;
+    }
+    publish_to_board(target, now);
+    return true;
+  });
+}
+
+void Cluster::publish_to_board(Workstation& target, SimTime now) {
+  board_.update(target.snapshot(now));
+  activity_.dirty.clear(target.id());
+  metrics::perf_add(&metrics::PerfCounters::snapshots_published);
 }
 
 void Cluster::complete_job(std::unique_ptr<RunningJob> job, SimTime now) {

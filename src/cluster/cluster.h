@@ -12,6 +12,7 @@
 #include "cluster/config.h"
 #include "cluster/load_index.h"
 #include "cluster/network.h"
+#include "cluster/node_activity.h"
 #include "cluster/policy.h"
 #include "cluster/running_job.h"
 #include "cluster/workstation.h"
@@ -128,6 +129,10 @@ class Cluster {
   void ensure_tasks_running();
   void handle_tick(SimTime now);
   void handle_exchange(SimTime now);
+  /// The one board-publish funnel: writes `node`'s snapshot to the board and
+  /// clears its dirty bit, so an immediate (out-of-band) broadcast cannot
+  /// double-publish at the next exchange.
+  void publish_to_board(Workstation& node, SimTime now);
   void complete_job(std::unique_ptr<RunningJob> job, SimTime now);
   void maybe_finish(SimTime now);
   std::unique_ptr<RunningJob> take_pending(JobId id);
@@ -138,6 +143,11 @@ class Cluster {
   Network network_;
   LoadInfoBoard board_;
   ClusterIndex live_index_;
+  /// Active (needs_tick) and dirty (unpublished-mutation) node sets, fed by
+  /// every workstation's publish_index() hook. handle_tick and
+  /// handle_exchange iterate these instead of all n nodes, making both loops
+  /// O(active)/O(changed) rather than O(cluster size) — see DESIGN.md §12.
+  NodeActivity activity_;
   sim::Rng rng_;
 
   std::vector<std::unique_ptr<Workstation>> nodes_;

@@ -3,6 +3,7 @@
 namespace vrc::cluster {
 
 void IndexedHeap::upsert(NodeId node, Key key) {
+  metrics::perf_add(&metrics::PerfCounters::heap_upserts);
   const std::int32_t slot = pos_[node];
   if (slot == kAbsent) {
     heap_.push_back(Entry{key, node});
@@ -19,6 +20,7 @@ void IndexedHeap::upsert(NodeId node, Key key) {
 void IndexedHeap::erase(NodeId node) {
   const std::int32_t slot = pos_[node];
   if (slot == kAbsent) return;
+  metrics::perf_add(&metrics::PerfCounters::heap_erases);
   const std::size_t at = static_cast<std::size_t>(slot);
   const std::size_t last = heap_.size() - 1;
   pos_[node] = kAbsent;

@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "metrics/perf_counters.h"
 #include "util/units.h"
 #include "workload/job.h"
 
@@ -66,6 +67,7 @@ class IndexedHeap {
   /// scan, never below it.
   template <typename Filter>
   std::optional<NodeId> best(Filter&& keep) const {
+    metrics::perf_add(&metrics::PerfCounters::heap_best_queries);
     scratch_.clear();
     if (!heap_.empty()) scratch_.push_back(0);
     std::size_t best_slot = 0;

@@ -28,7 +28,11 @@ using workload::NodeId;
 /// One node's published load snapshot.
 struct LoadInfo {
   NodeId node = 0;
-  SimTime timestamp = 0.0;  // publication time
+  /// Time this entry was last published. Under the dirty-set incremental
+  /// exchange a node that hasn't mutated keeps its old stamp (its values are
+  /// provably unchanged); no simulation code reads this field, it exists for
+  /// tests and debugging.
+  SimTime timestamp = 0.0;
   int active_jobs = 0;      // running (non-suspended) jobs
   int slots_used = 0;       // active jobs + in-flight placements
   Bytes user_memory = 0;

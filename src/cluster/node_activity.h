@@ -1,0 +1,136 @@
+// Mutation bookkeeping shared by the cluster's incremental loops: which
+// workstations currently need ticks (active set) and which have mutated
+// since the last load exchange (dirty set). Workstations feed both through
+// the same publish_index() hook that already fires on every state mutation,
+// so membership is exact by construction (DESIGN.md §12).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace vrc::cluster {
+
+using workload::NodeId;
+
+/// Flat bitmask over node ids with ascending-id iteration — the same visit
+/// order as a plain `for` loop over the node array, which is what keeps the
+/// active-set tick loop's event order identical to the old full scan.
+class NodeBitset {
+ public:
+  explicit NodeBitset(std::size_t num_nodes) : words_((num_nodes + 63) / 64, 0) {}
+
+  void set(NodeId node, bool member) {
+    if (member) {
+      insert(node);
+    } else {
+      erase(node);
+    }
+  }
+  void insert(NodeId node) {
+    std::uint64_t& word = words_[word_of(node)];
+    const std::uint64_t bit = bit_of(node);
+    count_ += static_cast<std::size_t>((word & bit) == 0);
+    word |= bit;
+  }
+  void erase(NodeId node) {
+    std::uint64_t& word = words_[word_of(node)];
+    const std::uint64_t bit = bit_of(node);
+    count_ -= static_cast<std::size_t>((word & bit) != 0);
+    word &= ~bit;
+  }
+  bool contains(NodeId node) const { return (words_[word_of(node)] & bit_of(node)) != 0; }
+  std::size_t count() const { return count_; }
+
+  /// Visits members in ascending node-id order. Each 64-id word is read once
+  /// when iteration reaches it, so a member inserted behind the cursor (or
+  /// into the word currently being drained) is picked up on the *next* pass —
+  /// callers re-check their predicate per visit, which makes the traversal
+  /// equivalent to the old predicate-guarded full scan (see
+  /// Cluster::handle_tick).
+  template <typename Visit>
+  void for_each(Visit&& visit) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t word = words_[wi];
+      while (word != 0) {
+        const int bit = std::countr_zero(word);
+        word &= word - 1;
+        visit(static_cast<NodeId>(wi * 64 + static_cast<std::size_t>(bit)));
+      }
+    }
+  }
+
+ private:
+  static std::size_t word_of(NodeId node) { return static_cast<std::size_t>(node) >> 6; }
+  static std::uint64_t bit_of(NodeId node) {
+    return std::uint64_t{1} << (static_cast<std::size_t>(node) & 63);
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t count_ = 0;
+};
+
+/// Deduplicated first-mutation-ordered set of nodes whose state changed since
+/// the last exchange. `mark` is O(1); `drain` visits each still-marked node
+/// once. An out-of-band publish (fail/recover broadcast) clears the flag
+/// without touching the order list — the stale list entry is dropped lazily
+/// at the next drain, and a re-mark after such a clear appends a fresh entry
+/// (board update order is value-irrelevant: aggregates are order-independent
+/// integer sums and heap queries are exact over a total order).
+class DirtyNodeSet {
+ public:
+  explicit DirtyNodeSet(std::size_t num_nodes) : dirty_(num_nodes, 0) {
+    order_.reserve(num_nodes);
+  }
+
+  void mark(NodeId node) {
+    if (dirty_[node] != 0) return;
+    dirty_[node] = 1;
+    order_.push_back(node);
+  }
+  /// Clears the flag (used by immediate broadcasts so the next exchange does
+  /// not double-publish). The order_ entry, if any, is dropped lazily.
+  void clear(NodeId node) { dirty_[node] = 0; }
+  bool contains(NodeId node) const { return dirty_[node] != 0; }
+
+  /// Calls `publish(node)` for every still-marked node in first-mark order
+  /// and clears the set. `publish` returns true when the node was published;
+  /// false retains the mark (and list position) for the next drain.
+  template <typename Publish>
+  void drain(Publish&& publish) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      const NodeId node = order_[i];
+      if (dirty_[node] == 0) continue;  // cleared out-of-band; drop lazily
+      if (publish(node)) {
+        dirty_[node] = 0;
+        continue;
+      }
+      order_[keep++] = node;  // retained: still dirty next period
+    }
+    order_.resize(keep);
+  }
+
+ private:
+  std::vector<std::uint8_t> dirty_;  // flag per node; source of truth
+  std::vector<NodeId> order_;        // first-mark order, may hold cleared ids
+};
+
+/// The pair of incremental sets a Cluster maintains, updated from
+/// Workstation::publish_index after every mutation.
+struct NodeActivity {
+  NodeBitset ticking;
+  DirtyNodeSet dirty;
+
+  explicit NodeActivity(std::size_t num_nodes) : ticking(num_nodes), dirty(num_nodes) {}
+
+  void note_mutation(NodeId node, bool needs_tick) {
+    ticking.set(node, needs_tick);
+    dirty.mark(node);
+  }
+};
+
+}  // namespace vrc::cluster

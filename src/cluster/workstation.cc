@@ -245,6 +245,7 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
   outcome.faults = tick_faults;
 
   // EMA of the fault rate with time constant fault_rate_tau.
+  const double fault_rate_before = fault_rate_;
   const double decay = std::exp(-dt / config_->fault_rate_tau);
   fault_rate_ = fault_rate_ * decay + (1.0 - decay) * (tick_faults / dt);
   // An exponential decay never reaches zero in floating point, which would
@@ -254,7 +255,20 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
   // so needs_tick() can turn the node off.
   if (jobs_.empty() && fault_rate_ < 1e-12) fault_rate_ = 0.0;
 
-  publish_index();
+  // Republish only when a published value could differ. Every field the
+  // live index and the board snapshot carry derives from resident_bytes_,
+  // the job/incoming counts and aggregates, the flags, and fault_rate_;
+  // within a tick the first three only move on a completion or a demand
+  // delta, so a tick that completed nothing, shifted no memory, and left
+  // the EMA bit-identical (exactly 0 stays exactly 0 without faults) would
+  // republish the very values already published — that no-op dominated the
+  // tick loop at 10k nodes (one indexed upsert per active node per tick).
+  // Value-unchanged also means needs_tick() cannot have flipped, so the
+  // active-set membership refresh is equally unnecessary.
+  if (!outcome.completed.empty() || resident_delta != 0 ||
+      fault_rate_ != fault_rate_before) {
+    publish_index();
+  }
   return outcome;
 }
 
@@ -280,7 +294,13 @@ void Workstation::bind_index(ClusterIndex* index) {
   publish_index();
 }
 
+void Workstation::bind_activity(NodeActivity* activity) {
+  activity_ = activity;
+  publish_index();
+}
+
 void Workstation::publish_index() {
+  if (activity_ != nullptr) activity_->note_mutation(id_, needs_tick());
   if (live_index_ == nullptr) return;
   ClusterIndex::NodeState state;
   state.idle = idle_memory();

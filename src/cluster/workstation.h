@@ -13,6 +13,7 @@
 
 #include "cluster/config.h"
 #include "cluster/load_index.h"
+#include "cluster/node_activity.h"
 #include "cluster/running_job.h"
 #include "sim/rng.h"
 
@@ -138,6 +139,11 @@ class Workstation {
   /// control-path scans read an always-current indexed view.
   void bind_index(ClusterIndex* index);
 
+  /// Binds the cluster's NodeActivity; from then on every mutation (the same
+  /// publish_index() sites) marks this node dirty for the next incremental
+  /// exchange and refreshes its active-set (needs_tick) membership.
+  void bind_activity(NodeActivity* activity);
+
   /// Publishes the node's load snapshot.
   LoadInfo snapshot(SimTime now) const;
 
@@ -193,6 +199,8 @@ class Workstation {
   /// Cluster-owned live index this node publishes into; null in unit tests
   /// that exercise a workstation in isolation.
   ClusterIndex* live_index_ = nullptr;
+  /// Cluster-owned active/dirty sets; null in isolation unit tests.
+  NodeActivity* activity_ = nullptr;
 };
 
 }  // namespace vrc::cluster

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "faults/injector.h"
+#include "metrics/perf_counters.h"
 
 namespace vrc::core {
 
@@ -64,6 +65,11 @@ metrics::RunReport run_experiment(const workload::Trace& trace,
                                   const cluster::ClusterConfig& config,
                                   cluster::SchedulerPolicy& policy,
                                   const ExperimentOptions& options) {
+  // Per-run perf capture (no-op unless `vrc_run --perf-counters` enabled the
+  // global switch): binds thread-local counters for the whole run — including
+  // sweep cells on ThreadPool workers — and merges them into the process
+  // aggregate at scope exit.
+  metrics::ScopedPerfCapture perf_capture;
   sim::Simulator sim;
   cluster::Cluster cluster(sim, config, policy);
   metrics::Collector collector(cluster, options.collector);
@@ -78,6 +84,8 @@ metrics::RunReport run_experiment(const workload::Trace& trace,
   }
   cluster.submit_trace(trace);
   sim.run_until(options.max_sim_time);
+  // Folded after the run so the event loop itself carries no counting cost.
+  metrics::perf_add(&metrics::PerfCounters::events_executed, sim.executed_events());
   collector.stop();
   metrics::RunReport report = collector.report(trace.name(), policy.name());
   report.policy_stats = policy.stats();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "metrics/perf_counters.h"
 #include "util/log.h"
 
 namespace vrc::core {
@@ -48,6 +49,7 @@ std::optional<NodeId> GLoadSharing::find_submission_target(Cluster& cluster, Byt
   // with unknown demands that seed the blocking problem. The board's
   // (slots asc, idle desc) heap returns exactly the node the old linear scan
   // picked; failed and reserved entries are not in the heap at all.
+  metrics::perf_add(&metrics::PerfCounters::submission_scans);
   const cluster::ClusterIndex& index = cluster.board().index();
   const int cpu_threshold = cluster.config().cpu_threshold;
   return index.best_first([&](NodeId n) {
@@ -62,6 +64,7 @@ std::optional<NodeId> GLoadSharing::find_migration_target(Cluster& cluster,
                                                           NodeId exclude) const {
   // Board-ranked (idle desc) with a live double-check: the destination must
   // still qualify at migration time, not just at the last exchange.
+  metrics::perf_add(&metrics::PerfCounters::migration_scans);
   const cluster::ClusterIndex& index = cluster.board().index();
   const int cpu_threshold = cluster.config().cpu_threshold;
   return index.best_second([&](NodeId n) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/perf_counters.h"
 #include "util/log.h"
 
 namespace vrc::core {
@@ -111,6 +112,7 @@ std::optional<NodeId> VReconfiguration::pick_reservation_candidate(Cluster& clus
   // are short-lived jobs, per the lifetime-prediction argument of [5]),
   // then fewest jobs: exactly the live index's (idle desc, jobs asc) heap.
   // Failed and already-reserved workstations are evicted from the heap.
+  metrics::perf_add(&metrics::PerfCounters::reservation_scans);
   const cluster::ClusterIndex& live = cluster.live_index();
   return live.best_first([&](NodeId n) {
     if (n == pressured) return false;

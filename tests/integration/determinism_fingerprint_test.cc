@@ -10,6 +10,8 @@
 // spec path to the same goldens.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "../common/report_fingerprint.h"
 #include "core/experiment.h"
 #include "metrics/report.h"
@@ -22,7 +24,8 @@ using testutil::fingerprint;
 using testutil::kGLoadSharingGolden;
 using testutil::kVReconfigurationGolden;
 
-metrics::RunReport run_fig1_style(core::PolicyKind kind) {
+metrics::RunReport run_fig1_style(core::PolicyKind kind,
+                                  double load_exchange_period = 0.0) {
   workload::TraceParams params;
   params.name = "fingerprint-trace";
   params.group = workload::WorkloadGroup::kSpec;
@@ -31,9 +34,19 @@ metrics::RunReport run_fig1_style(core::PolicyKind kind) {
   params.num_nodes = 8;
   params.seed = 7;
   const workload::Trace trace = workload::generate_trace(params);
-  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
+  auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
+  if (load_exchange_period > 0.0) config.load_exchange_period = load_exchange_period;
   return core::run_policy_on_trace(kind, trace, config);
 }
+
+// Goldens for the same fig1-style runs with a non-default exchange period
+// (2.5s instead of 1.0s), captured on the pre-dirty-set full-rebroadcast
+// exchange. A longer period widens the window in which the dirty set
+// accumulates and the board goes stale, so this re-checks the
+// stale-but-identical contract at a staleness the default-period goldens
+// never reach.
+constexpr std::uint64_t kGLoadSharingSlowExchangeGolden = 0x5f646c0d05a1b9a9ull;
+constexpr std::uint64_t kVReconfigurationSlowExchangeGolden = 0x22426a262c4385fdull;
 
 TEST(DeterminismFingerprintTest, GLoadSharingMatchesPreRewriteEngine) {
   const auto report = run_fig1_style(core::PolicyKind::kGLoadSharing);
@@ -46,6 +59,20 @@ TEST(DeterminismFingerprintTest, VReconfigurationMatchesPreRewriteEngine) {
   const auto report = run_fig1_style(core::PolicyKind::kVReconfiguration);
   EXPECT_EQ(report.jobs_completed, report.jobs_submitted);
   EXPECT_EQ(fingerprint(report), kVReconfigurationGolden)
+      << "actual fingerprint: 0x" << std::hex << fingerprint(report);
+}
+
+TEST(DeterminismFingerprintTest, GLoadSharingNonDefaultExchangePeriod) {
+  const auto report = run_fig1_style(core::PolicyKind::kGLoadSharing, 2.5);
+  EXPECT_EQ(report.jobs_completed, report.jobs_submitted);
+  EXPECT_EQ(fingerprint(report), kGLoadSharingSlowExchangeGolden)
+      << "actual fingerprint: 0x" << std::hex << fingerprint(report);
+}
+
+TEST(DeterminismFingerprintTest, VReconfigurationNonDefaultExchangePeriod) {
+  const auto report = run_fig1_style(core::PolicyKind::kVReconfiguration, 2.5);
+  EXPECT_EQ(report.jobs_completed, report.jobs_submitted);
+  EXPECT_EQ(fingerprint(report), kVReconfigurationSlowExchangeGolden)
       << "actual fingerprint: 0x" << std::hex << fingerprint(report);
 }
 
