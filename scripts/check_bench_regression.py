@@ -37,13 +37,64 @@ log always shows the full picture even when the gate passes.
 
 import argparse
 import json
+import math
 import sys
 
 
-def min_times_from_data(data):
+def validate_benchmark_data(data, source="<data>"):
+    """Structural validation before any comparison math.
+
+    A truncated benchmark run, a hand-edited baseline, or a google-benchmark
+    format change should fail here with a precise message, not surface later
+    as a KeyError or a nonsense ratio. Raises ValueError on the first
+    problem: top-level shape, per-entry field types, non-finite or negative
+    timings, and duplicate (name, repetition_index) rows — the same
+    repetition emitted twice means a corrupted or concatenated file.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"{source}: top level must be a JSON object, "
+                         f"got {type(data).__name__}")
+    benchmarks = data.get("benchmarks")
+    if benchmarks is None:
+        raise ValueError(f"{source}: missing 'benchmarks' array")
+    if not isinstance(benchmarks, list):
+        raise ValueError(f"{source}: 'benchmarks' must be a list, "
+                         f"got {type(benchmarks).__name__}")
+    seen = set()
+    for pos, bench in enumerate(benchmarks):
+        where = f"{source}: benchmarks[{pos}]"
+        if not isinstance(bench, dict):
+            raise ValueError(f"{where}: entry must be an object, "
+                             f"got {type(bench).__name__}")
+        name = bench.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{where}: 'name' must be a non-empty string, "
+                             f"got {name!r}")
+        if bench.get("run_type") == "aggregate":
+            continue  # aggregate rows are skipped downstream; shape-check only
+        real = bench.get("real_time")
+        if not isinstance(real, (int, float)) or isinstance(real, bool):
+            raise ValueError(f"{where} ({name}): 'real_time' must be a "
+                             f"number, got {real!r}")
+        if not math.isfinite(real) or real < 0:
+            raise ValueError(f"{where} ({name}): 'real_time' must be finite "
+                             f"and non-negative, got {real!r}")
+        rep = bench.get("repetition_index")
+        if rep is not None:
+            key = (name, rep)
+            if key in seen:
+                raise ValueError(f"{where}: duplicate benchmark row for "
+                                 f"{name!r} repetition {rep} (corrupted or "
+                                 f"concatenated output?)")
+            seen.add(key)
+    return data
+
+
+def min_times_from_data(data, source="<data>"):
     """Map benchmark name -> (min real_time across repetitions, time unit)."""
+    validate_benchmark_data(data, source)
     times = {}
-    for bench in data.get("benchmarks", []):
+    for bench in data["benchmarks"]:
         # Skip aggregate rows (mean/median/stddev); keep per-repetition runs.
         if bench.get("run_type") == "aggregate":
             continue
@@ -57,7 +108,10 @@ def min_times_from_data(data):
 
 def min_times(path):
     with open(path) as fh:
-        return min_times_from_data(json.load(fh))
+        try:
+            return min_times_from_data(json.load(fh), source=path)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}: not valid JSON: {err}") from err
 
 
 def effective_factor(name, factor, overrides):
@@ -252,6 +306,56 @@ def self_test():
     check(missing_required({"BM_Slow/128": (1.0, "ns")}, ["BM_Slow"]) == [],
           "--require must prefix-match Arg variants")
 
+    # Upfront validation: each malformed input must be rejected with a
+    # message naming the problem, before any comparison math runs.
+    def rejects(data, expect_fragment, label):
+        try:
+            validate_benchmark_data(data, source="fixture")
+            check(False, f"validation must reject {label}")
+        except ValueError as err:
+            check(expect_fragment in str(err),
+                  f"rejection of {label} must mention {expect_fragment!r}, "
+                  f"got: {err}")
+
+    rejects([], "top level", "a non-object top level")
+    rejects({}, "missing 'benchmarks'", "a missing benchmarks array")
+    rejects({"benchmarks": "nope"}, "must be a list",
+            "a non-list benchmarks field")
+    rejects({"benchmarks": ["nope"]}, "must be an object",
+            "a non-object benchmark entry")
+    rejects({"benchmarks": [{"real_time": 1.0}]}, "'name'",
+            "an entry without a name")
+    rejects({"benchmarks": [{"name": "BM_X", "run_type": "iteration"}]},
+            "'real_time'", "an entry without a timing")
+    rejects({"benchmarks": [{"name": "BM_X", "run_type": "iteration",
+                             "real_time": "fast"}]},
+            "must be a number", "a string timing")
+    rejects({"benchmarks": [{"name": "BM_X", "run_type": "iteration",
+                             "real_time": float("nan")}]},
+            "finite", "a NaN timing")
+    rejects({"benchmarks": [{"name": "BM_X", "run_type": "iteration",
+                             "real_time": -5.0}]},
+            "non-negative", "a negative timing")
+    rejects({"benchmarks": [
+        {"name": "BM_X", "run_type": "iteration", "real_time": 1.0,
+         "repetition_index": 0},
+        {"name": "BM_X", "run_type": "iteration", "real_time": 2.0,
+         "repetition_index": 0},
+    ]}, "duplicate", "a duplicated repetition row")
+    try:
+        # Well-formed data (including a repeated name with distinct
+        # repetition indices, and rows without any index) must pass.
+        validate_benchmark_data({"benchmarks": [
+            {"name": "BM_X", "run_type": "iteration", "real_time": 1.0,
+             "repetition_index": 0},
+            {"name": "BM_X", "run_type": "iteration", "real_time": 2.0,
+             "repetition_index": 1},
+            {"name": "BM_Y", "run_type": "iteration", "real_time": 3},
+            {"name": "BM_X_mean", "run_type": "aggregate"},
+        ]}, source="fixture")
+    except ValueError as err:
+        check(False, f"validation must accept well-formed data, got: {err}")
+
     table = format_delta_table(rows)
     check(len(table) == 2 + len(rows), "table must have header + one row each")
     check(any("+300.0%" in line for line in table),
@@ -295,8 +399,12 @@ def main():
     if args.baseline is None or args.current is None:
         parser.error("BASELINE and CURRENT are required unless --self-test")
 
-    baseline = min_times(args.baseline)
-    current = min_times(args.current)
+    try:
+        baseline = min_times(args.baseline)
+        current = min_times(args.current)
+    except (OSError, ValueError) as err:
+        print(f"check_bench_regression: {err}", file=sys.stderr)
+        return 1
 
     if args.list:
         for line in format_delta_table(delta_rows(baseline, current)):

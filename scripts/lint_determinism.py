@@ -1,408 +1,21 @@
 #!/usr/bin/env python3
-"""Determinism linter: statically bans nondeterminism sources in the sim core.
+"""Back-compat shim: the determinism linter is now a vrc_lint analyzer.
 
-The reproduction's headline results rest on bit-reproducible simulation runs
-(see tests/integration/determinism_fingerprint_test.cc). The runtime
-fingerprint goldens catch a nondeterminism bug only after it lands; this
-linter rejects the usual sources at review time, before a seed-dependent
-heisendiff ever reaches the goldens.
-
-Scanned by default: src/sim, src/core, src/cluster, src/workload,
-src/runner, src/faults, and src/metrics — the modules whose execution order
-feeds the event loop, plus the parallel sweep/scenario layer whose cell
-ordering and seed derivation must be reproducible, plus the fault-injection
-subsystem whose failure schedules must replay bit-identically, plus the
-metrics/perf-counter layer that instruments the hot paths (its one wall-clock
-read is justified inline: write-only observability). Banned constructs:
-
-  wall-clock        std::chrono::{system,steady,high_resolution}_clock,
-                    time(NULL)-style calls, clock(), gettimeofday(
-  libc-rng          rand(), srand(), random(), drand48()
-  random-device     std::random_device (nondeterministic seed source)
-  unordered-iter    any use of std::unordered_map / std::unordered_set /
-                    std::unordered_multimap / std::unordered_multiset.
-                    Hash-table iteration order depends on libstdc++ version,
-                    pointer values, and insertion history; in event-order-
-                    sensitive code even a lookup-only table invites a later
-                    `for (auto& [k, v] : table)`. Use std::map / sorted
-                    vectors, or justify with the escape hatch.
-  pointer-key       ordered containers keyed on raw pointers
-                    (std::set<T*>, std::map<T*, ...>) and std::less<T*> —
-                    address order varies run to run under ASLR.
-  pointer-compare   relational comparison of addresses-of (&a < &b) used as
-                    a tiebreak or sort key.
-  uninit-member     scalar class/struct members in headers with no default
-                    initializer (`double x_;`): reads of indeterminate
-                    values are UB and seed-dependent. Initialize in-class
-                    even when a constructor also assigns.
-  env-read          getenv() — environment-dependent behavior.
-
-Escape hatch: append `// NOLINT-determinism(reason)` to the offending line,
-or put it alone on the line directly above. The reason is mandatory; an
-empty `NOLINT-determinism()` is itself an error. Policy: the reason must say
-why the construct cannot affect event order (e.g. "lookup-only, never
-iterated" is NOT sufficient for unordered containers — prefer std::map).
-
-Usage:
-  lint_determinism.py [--root DIR] [paths...]   # default: the five dirs above
-  lint_determinism.py --list-files              # print the scanned file set
-  lint_determinism.py --self-test               # run the fixture self-test
-
-Exit status: 0 clean, 1 violations found, 2 internal/usage error.
-Stdlib-only; no third-party dependencies.
+This entry point survives so older docs, CI snippets, and muscle memory keep
+working; it forwards to `vrc_lint.py --analyzer determinism` with the same
+flags it always had (`--root`, `--self-test`, `--list-files`, paths).
+Prefer scripts/vrc_lint.py, which also runs the layering, publish-audit,
+and heap-order analyzers (DESIGN.md §13). Rules and rationale:
+scripts/vrc_lint/determinism.py; fixtures:
+scripts/testdata/vrc_lint/determinism/.
 """
 
-import argparse
 import os
-import re
 import sys
 
-DEFAULT_PATHS = ["src/sim", "src/core", "src/cluster", "src/workload", "src/runner",
-                 "src/faults", "src/metrics"]
-SOURCE_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-NOLINT_RE = re.compile(r"//\s*NOLINT-determinism\((?P<reason>[^)]*)\)")
-
-# Each rule: (name, compiled regex, human message). Applied line-by-line to
-# code with comments and string literals blanked out.
-RULES = [
-    ("wall-clock",
-     re.compile(r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"),
-     "wall-clock read; simulation time must come from Simulator::now()"),
-    ("wall-clock",
-     re.compile(r"(?<![\w:.])(time|clock|gettimeofday|clock_gettime)\s*\("),
-     "libc wall-clock call; simulation time must come from Simulator::now()"),
-    ("libc-rng",
-     re.compile(r"(?<![\w:.])(rand|srand|random|drand48|lrand48)\s*\("),
-     "libc RNG; use the seeded vrc::sim::Rng instead"),
-    ("random-device",
-     re.compile(r"std::random_device"),
-     "nondeterministic seed source; seeds must be explicit parameters"),
-    ("unordered-iter",
-     re.compile(r"std::unordered_(map|set|multimap|multiset)\b"),
-     "hash-table iteration order is unstable across runs; use std::map or a "
-     "sorted vector"),
-    ("pointer-key",
-     re.compile(r"std::(multi)?(set|map)\s*<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*"),
-     "ordered container keyed on a raw pointer; address order varies under "
-     "ASLR — key on a stable id instead"),
-    ("pointer-key",
-     re.compile(r"std::less\s*<\s*(const\s+)?[A-Za-z_][\w:]*\s*\*\s*>"),
-     "std::less over raw pointers; address order varies under ASLR"),
-    ("pointer-compare",
-     re.compile(r"&\s*[A-Za-z_]\w*(\[\w+\])?\s*[<>]=?\s*&\s*[A-Za-z_]\w*"),
-     "address comparison as an ordering; varies run to run — compare stable "
-     "ids instead"),
-    ("env-read",
-     re.compile(r"(?<![\w:.])getenv\s*\("),
-     "environment read; pass configuration explicitly so runs are "
-     "reproducible from the command line alone"),
-]
-
-# uninit-member is header-only and structural, handled separately from RULES.
-SCALAR_MEMBER_RE = re.compile(
-    r"^\s*(?:const\s+)?"
-    r"(?:bool|char|short|int|long|float|double|unsigned(?:\s+\w+)?"
-    r"|std::u?int(?:8|16|32|64|ptr)_t|u?int(?:8|16|32|64|ptr)_t"
-    r"|std::size_t|size_t|std::ptrdiff_t"
-    r"|SimTime|EventId|vrc::sim::SimTime|vrc::sim::EventId)"
-    r"(?:\s+(?:const\s+)?)"
-    r"[A-Za-z_]\w*\s*;\s*$")
-
-
-class Violation:
-    def __init__(self, path, line_number, rule, message, line_text):
-        self.path = path
-        self.line_number = line_number
-        self.rule = rule
-        self.message = message
-        self.line_text = line_text
-
-    def __str__(self):
-        return (f"{self.path}:{self.line_number}: [{self.rule}] {self.message}\n"
-                f"    {self.line_text.strip()}")
-
-
-def blank_comments_and_strings(lines):
-    """Returns lines with comments and string/char literals overwritten by
-    spaces, so rules never fire on prose. Tracks /* */ across lines; raw
-    strings are rare in this codebase and handled as plain strings."""
-    out = []
-    in_block_comment = False
-    for line in lines:
-        result = []
-        i = 0
-        n = len(line)
-        in_string = None  # '"' or "'" while inside a literal
-        while i < n:
-            ch = line[i]
-            nxt = line[i + 1] if i + 1 < n else ""
-            if in_block_comment:
-                if ch == "*" and nxt == "/":
-                    in_block_comment = False
-                    result.append("  ")
-                    i += 2
-                    continue
-                result.append(" ")
-                i += 1
-                continue
-            if in_string:
-                if ch == "\\":
-                    result.append("  ")
-                    i += 2
-                    continue
-                if ch == in_string:
-                    in_string = None
-                result.append(" " if ch != in_string else " ")
-                i += 1
-                continue
-            if ch == "/" and nxt == "/":
-                result.append(" " * (n - i))
-                break
-            if ch == "/" and nxt == "*":
-                in_block_comment = True
-                result.append("  ")
-                i += 2
-                continue
-            if ch in "\"'":
-                in_string = ch
-                result.append(" ")
-                i += 1
-                continue
-            result.append(ch)
-            i += 1
-        out.append("".join(result))
-    return out
-
-
-def in_class_body_mask(code_lines):
-    """Best-effort per-line flag: inside a class/struct body but not inside a
-    function body. Drives the uninit-member rule. Tracks brace depth and the
-    depth at which each class/struct body opened."""
-    mask = []
-    depth = 0
-    class_depths = []  # brace depth of each open class/struct body
-    pending_class = False
-    for line in code_lines:
-        inside = bool(class_depths) and depth == class_depths[-1] + 1
-        mask.append(inside)
-        stripped = line.strip()
-        if re.match(r"(template\s*<.*>\s*)?(class|struct)\s+[A-Za-z_]", stripped) \
-                and not stripped.endswith(";"):
-            pending_class = True
-        for ch in line:
-            if ch == "{":
-                if pending_class:
-                    class_depths.append(depth)
-                    pending_class = False
-                depth += 1
-            elif ch == "}":
-                depth -= 1
-                if class_depths and depth == class_depths[-1]:
-                    class_depths.pop()
-        if pending_class and stripped.endswith(";"):
-            pending_class = False  # forward declaration
-    return mask
-
-
-def lint_file(path, display_path=None):
-    display = display_path or path
-    try:
-        with open(path, encoding="utf-8", errors="replace") as fh:
-            raw_lines = fh.read().splitlines()
-    except OSError as err:
-        raise RuntimeError(f"cannot read {path}: {err}")
-
-    code_lines = blank_comments_and_strings(raw_lines)
-    violations = []
-    nolint_errors = []
-
-    def nolint_reason(index):
-        """NOLINT on this line, or alone on the previous line."""
-        match = NOLINT_RE.search(raw_lines[index])
-        if match is None and index > 0:
-            prev = raw_lines[index - 1].strip()
-            prev_match = NOLINT_RE.search(prev)
-            if prev_match and prev.startswith("//"):
-                match = prev_match
-        if match is None:
-            return None
-        reason = match.group("reason").strip()
-        if not reason:
-            nolint_errors.append(Violation(
-                display, index + 1, "empty-nolint",
-                "NOLINT-determinism requires a non-empty reason", raw_lines[index]))
-            return None
-        return reason
-
-    for index, code in enumerate(code_lines):
-        for rule, pattern, message in RULES:
-            if pattern.search(code):
-                if nolint_reason(index) is None:
-                    violations.append(Violation(
-                        display, index + 1, rule, message, raw_lines[index]))
-
-    mask = in_class_body_mask(code_lines)
-    for index, code in enumerate(code_lines):
-        if not mask[index]:
-            continue
-        if "static" in code or "constexpr" in code or "using" in code:
-            continue
-        if SCALAR_MEMBER_RE.match(code):
-            if nolint_reason(index) is None:
-                violations.append(Violation(
-                    display, index + 1, "uninit-member",
-                    "scalar member without a default initializer; reads "
-                    "of indeterminate values are seed-dependent UB",
-                    raw_lines[index]))
-
-    # An empty NOLINT reason is an error even when no rule fired on the line:
-    # otherwise a reasonless suppression silently rots in place.
-    for index, raw in enumerate(raw_lines):
-        match = NOLINT_RE.search(raw)
-        if match and not match.group("reason").strip():
-            violation = Violation(
-                display, index + 1, "empty-nolint",
-                "NOLINT-determinism requires a non-empty reason", raw)
-            if str(violation) not in {str(v) for v in nolint_errors}:
-                nolint_errors.append(violation)
-
-    return violations + nolint_errors
-
-
-def collect_files(paths, root):
-    files = []
-    for path in paths:
-        full = path if os.path.isabs(path) else os.path.join(root, path)
-        if os.path.isfile(full):
-            files.append((full, os.path.relpath(full, root)))
-        elif os.path.isdir(full):
-            for dirpath, _dirnames, filenames in os.walk(full):
-                for name in sorted(filenames):
-                    if name.endswith(SOURCE_EXTENSIONS):
-                        file_path = os.path.join(dirpath, name)
-                        files.append((file_path, os.path.relpath(file_path, root)))
-        else:
-            raise RuntimeError(f"no such file or directory: {full}")
-    files.sort(key=lambda pair: pair[1])
-    return files
-
-
-def run_lint(paths, root):
-    violations = []
-    for full, rel in collect_files(paths, root):
-        violations.extend(lint_file(full, rel))
-    return violations
-
-
-def self_test(root):
-    """Runs the linter over the seeded fixtures and checks the findings."""
-    testdata = os.path.join(root, "scripts", "testdata", "determinism")
-    failures = []
-
-    # violations.cc: every line tagged `// SEED: rule` must be reported with
-    # exactly that rule, and no untagged line may be reported.
-    seeded_path = os.path.join(testdata, "violations.cc")
-    seed_re = re.compile(r"SEED:\s*([\w-]+)")
-    expected = {}
-    with open(seeded_path, encoding="utf-8") as fh:
-        for line_number, line in enumerate(fh, start=1):
-            match = seed_re.search(line)
-            if match:
-                expected[line_number] = match.group(1)
-
-    found = {}
-    for violation in lint_file(seeded_path, "violations.cc"):
-        found.setdefault(violation.line_number, []).append(violation.rule)
-
-    for line_number, rule in sorted(expected.items()):
-        if rule not in found.get(line_number, []):
-            failures.append(f"violations.cc:{line_number}: expected rule "
-                            f"'{rule}', got {found.get(line_number, [])}")
-    for line_number, rules in sorted(found.items()):
-        if line_number not in expected:
-            failures.append(f"violations.cc:{line_number}: unexpected "
-                            f"finding(s) {rules}")
-
-    # clean.cc: must produce zero findings (exercises the NOLINT escape
-    # hatch, comment/string blanking, and initialized members).
-    clean_path = os.path.join(testdata, "clean.cc")
-    clean_findings = lint_file(clean_path, "clean.cc")
-    for violation in clean_findings:
-        failures.append(f"clean.cc: unexpected finding: {violation}")
-
-    # Recursive discovery over the default paths must include the indexed
-    # cluster-state files: they maintain the heaps every placement decision
-    # reads, so a discovery regression would drop the most order-sensitive
-    # code from the lint.
-    scanned = {rel for _full, rel in collect_files(DEFAULT_PATHS, root)}
-    for required in ("src/cluster/cluster_index.h",
-                     "src/cluster/cluster_index.cc",
-                     "src/cluster/load_index.cc",
-                     "src/cluster/workstation.cc",
-                     "src/cluster/node_activity.h",
-                     "src/metrics/perf_counters.h",
-                     "src/metrics/perf_counters.cc"):
-        if required not in scanned:
-            failures.append(f"default scan set is missing {required}")
-
-    if failures:
-        print("lint_determinism self-test FAILED:", file=sys.stderr)
-        for failure in failures:
-            print(f"  {failure}", file=sys.stderr)
-        return 1
-    print(f"lint_determinism self-test passed: {len(expected)} seeded "
-          f"violations detected, clean fixture clean.")
-    return 0
-
-
-def main():
-    parser = argparse.ArgumentParser(
-        description="determinism linter for the simulation core")
-    parser.add_argument("paths", nargs="*",
-                        help=f"files or directories (default: {DEFAULT_PATHS})")
-    parser.add_argument("--root", default=None,
-                        help="repository root (default: parent of this script)")
-    parser.add_argument("--self-test", action="store_true",
-                        help="run the seeded-fixture self-test and exit")
-    parser.add_argument("--list-files", action="store_true",
-                        help="print the file set that would be scanned and "
-                             "exit (for auditing lint coverage)")
-    args = parser.parse_args()
-
-    root = args.root or os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
-
-    if args.self_test:
-        return self_test(root)
-
-    paths = args.paths or DEFAULT_PATHS
-    if args.list_files:
-        try:
-            for _full, rel in collect_files(paths, root):
-                print(rel)
-        except RuntimeError as err:
-            print(f"lint_determinism: {err}", file=sys.stderr)
-            return 2
-        return 0
-    try:
-        violations = run_lint(paths, root)
-    except RuntimeError as err:
-        print(f"lint_determinism: {err}", file=sys.stderr)
-        return 2
-
-    if violations:
-        print(f"lint_determinism: {len(violations)} violation(s):\n",
-              file=sys.stderr)
-        for violation in violations:
-            print(violation, file=sys.stderr)
-        print("\nSuppress a justified use with "
-              "`// NOLINT-determinism(reason)` — see DESIGN.md "
-              "\"Determinism rules\".", file=sys.stderr)
-        return 1
-    print("lint_determinism: clean.")
-    return 0
-
+from vrc_lint import core  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(core.main(only_analyzer="determinism"))

@@ -1,0 +1,11 @@
+// Clean fixture header: every enum member has a case and a table entry.
+#pragma once
+
+namespace fixture {
+
+enum class Order {
+  kMinSlotsMaxIdle,
+  kMaxIdle,
+};
+
+}  // namespace fixture

@@ -1,0 +1,46 @@
+// Seeded fixture impl: one key expression drifted from the DESIGN.md table,
+// one case exists that the table never documents.
+#include "cluster_index.h"
+
+namespace fixture {
+
+struct NodeState {
+  int slots_used = 0;
+  int idle = 0;
+};
+
+struct Key {
+  int primary = 0;
+  int secondary = 0;
+};
+
+struct Entry {
+  Key key;
+  int node = 0;
+};
+
+bool precedes(const Entry& a, const Entry& b) {
+  if (a.key.primary != b.key.primary) return a.key.primary < b.key.primary;
+  if (a.key.secondary != b.key.secondary) {
+    return a.key.secondary < b.key.secondary;
+  }
+  return a.node < b.node;
+}
+
+struct ClusterIndex {
+  static Key key_for(Order order, const NodeState& state);
+};
+
+Key ClusterIndex::key_for(Order order, const NodeState& state) {
+  switch (order) {
+    case Order::kMinSlotsMaxIdle:
+      return {state.slots_used, -state.idle};
+    case Order::kMaxIdle:  // SEED: heap-order
+      return {-state.idle, 1};
+    case Order::kUndocumented:  // SEED: heap-order
+      return {state.slots_used, 0};
+  }
+  return {};
+}
+
+}  // namespace fixture

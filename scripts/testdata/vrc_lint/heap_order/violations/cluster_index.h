@@ -1,0 +1,13 @@
+// Seeded fixture header: a miniature Order enum with one member that has no
+// case in the fixture key_for.
+#pragma once
+
+namespace fixture {
+
+enum class Order {
+  kMinSlotsMaxIdle,
+  kMaxIdle,
+  kGone,  // SEED: heap-order
+};
+
+}  // namespace fixture

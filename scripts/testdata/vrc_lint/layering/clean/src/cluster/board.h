@@ -1,0 +1,10 @@
+// Clean fixture: downward include only (cluster -> util), plus a same-module
+// include, both legal.
+#pragma once
+
+#include "cluster/board_fwd.h"
+#include "util/tiny.h"
+
+namespace fixture {
+inline int board() { return 2; }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Clean fixture: same-module include target.
+#pragma once
+
+namespace fixture {
+int board();
+}  // namespace fixture

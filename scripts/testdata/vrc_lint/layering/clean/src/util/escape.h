@@ -1,0 +1,10 @@
+// Clean fixture: a back-edge with a reasoned NOLINT-layering is suppressed —
+// the escape hatch must keep the clean fixture clean.
+#pragma once
+
+// NOLINT-layering(grandfathered edge kept to exercise the escape hatch)
+#include "cluster/board.h"
+
+namespace fixture {
+inline int escape() { return board(); }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Clean fixture: the leaf layer includes nothing project-local. System
+// includes and unresolvable paths are ignored by the analyzer.
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+inline int tiny() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,5 @@
+// Clean fixture: tests/ is unrestricted; an upward include here is legal.
+#include "core/engine.h"
+#include "util/tiny.h"
+
+int main() { return fixture::tiny(); }

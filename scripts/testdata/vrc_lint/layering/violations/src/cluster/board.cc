@@ -1,0 +1,13 @@
+// Fixture: a mid-layer back-edge (cluster -> core) and a suppressed one —
+// the NOLINT-layering escape hatch must keep the suppressed line silent even
+// in a violations fixture.
+#include "cluster/board.h"
+
+#include "core/engine.h"  // SEED: layering
+
+// NOLINT-layering(transitional: engine split tracked in the fixture story)
+#include "core/engine.h"
+
+namespace fixture {
+int board_impl() { return board(); }
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: a legal downward include (cluster -> util) plus an include whose
+// target maps to no declared module.
+#pragma once
+
+#include "util/tiny.h"
+
+#include "misc/stray.h"  // SEED: unassigned-module
+
+namespace fixture {
+inline int board() { return 2; }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: the top layer may include everything below it.
+#pragma once
+
+#include "cluster/board.h"
+#include "util/tiny.h"
+
+namespace fixture {
+inline int engine() { return 3; }
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// SEED: unassigned-module  (this file matches no module in the fixture DAG)
+#pragma once
+
+namespace fixture {
+inline int stray() { return 4; }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: the bottom layer reaching UP into cluster is the classic
+// back-edge the analyzer exists to catch.
+#pragma once
+
+#include "cluster/board.h"  // SEED: layering
+
+namespace fixture {
+inline int tiny() { return 1; }
+}  // namespace fixture

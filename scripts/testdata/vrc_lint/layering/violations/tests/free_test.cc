@@ -1,0 +1,7 @@
+// Fixture: tests/ is unrestricted — an upward include here is NOT a
+// violation, so this file must produce no findings.
+#include "cluster/board.h"
+#include "core/engine.h"
+#include "util/tiny.h"
+
+int main() { return fixture::engine(); }

@@ -1,0 +1,44 @@
+// Clean fixture bodies: the codebase's real shapes — conditional publish
+// directly ahead of the implicit exit (Workstation::tick), early return
+// before any write, reads through const refs and range-for.
+#include "board.h"
+
+namespace fixture {
+
+void Board::publish() { scratch_ = value_; }
+
+void Board::tick() {
+  bool dirty = false;
+  if (value_ > 0) {
+    --value_;
+    dirty = true;
+  }
+  if (dirty) publish();
+}
+
+void Board::set_and_publish(int v) {
+  if (v == value_) return;
+  value_ = v;
+  publish();
+}
+
+void Board::reset() {
+  rows_.clear();
+  value_ = 0;
+  publish();
+}
+
+void Board::untracked_write(int v) { scratch_ = v; }
+
+int Board::first_row() const {
+  const int& front = rows_[0];
+  return front;
+}
+
+int Board::sum() const {
+  int total = 0;
+  for (const auto& row : rows_) total += row;
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Clean fixture for the publish-audit analyzer: every board-visible write
+// republishes before exit, and the recognized read shapes (const ref
+// binding, range-for, untracked fields) produce no findings.
+#pragma once
+
+#include <vector>
+
+namespace fixture {
+
+class Board {
+ public:
+  void publish();  // vrc:publish-fn
+  void tick();
+  void set_and_publish(int v);
+  void reset();  // vrc:must-publish
+  void untracked_write(int v);
+  int first_row() const;
+  int sum() const;
+  int value() const { return value_; }
+
+ private:
+  int value_ = 0;          // vrc:board-visible
+  std::vector<int> rows_;  // vrc:board-visible
+  int scratch_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+# vrc_lint: the repo's static-analysis framework (DESIGN.md §13).
+#
+# A shared core (scripts/vrc_lint/core.py) hosts four analyzers:
+#   determinism   — bans nondeterminism sources in the simulation core (§8)
+#   layering      — enforces the module DAG declared in layering.toml
+#   publish-audit — board-visible writes must republish on every path out
+#   heap-order    — IndexedHeap comparators must match DESIGN.md §11's table
+#
+# Entry point: scripts/vrc_lint.py (scripts/lint_determinism.py is a
+# back-compat shim for the determinism analyzer alone).

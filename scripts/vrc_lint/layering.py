@@ -1,0 +1,241 @@
+"""Layering analyzer: enforces the module DAG over the #include graph.
+
+The allowed architecture is declared in ``scripts/vrc_lint/layering.toml``:
+named modules (path prefixes under the repo root, file-granular where a
+directory hosts two libraries, like src/metrics) with an explicit DIRECT
+dependency list each. The analyzer
+
+  * rejects the config itself when a declared dep is unknown or the declared
+    graph has a cycle (rule ``layering-config``),
+  * requires every scanned source file to map to exactly one module — a new
+    directory must be placed in the DAG deliberately (rule
+    ``unassigned-module``),
+  * flags every ``#include "x/y.h"`` whose target module is not in the
+    including module's declared deps (rule ``layering``) — back-edges and
+    undeclared lateral edges alike.
+
+Project includes resolve against ``<base>/src/`` (the single include root).
+System/third-party includes and includes that do not resolve to a file are
+ignored. Directories listed as ``unrestricted`` (tests, bench, examples) may
+depend on anything and are not scanned.
+
+Fixture trees carry their own ``layering.toml``; when the scanned file set
+contains one, it overrides the packaged config and all paths resolve
+relative to its directory — which is how the self-test exercises back-edge
+detection and config-cycle rejection without touching the real tree.
+
+Escape hatch: ``// NOLINT-layering(reason)`` on the include line.
+"""
+
+import os
+import re
+import tomllib
+
+from vrc_lint import core
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+
+class LayeringConfigError(Exception):
+    pass
+
+
+class LayeringConfig:
+    def __init__(self, modules, unrestricted, base, rel_path):
+        self.modules = modules          # name -> {"paths": [...], "deps": set}
+        self.unrestricted = unrestricted
+        self.base = base                # absolute dir all paths resolve against
+        self.rel_path = rel_path        # config path relative to repo root
+
+    @staticmethod
+    def load(full_path, root):
+        rel_path = os.path.relpath(full_path, root)
+        try:
+            with open(full_path, "rb") as fh:
+                data = tomllib.load(fh)
+        except (OSError, tomllib.TOMLDecodeError) as err:
+            raise LayeringConfigError(f"cannot parse {rel_path}: {err}")
+        section = data.get("layering", {})
+        modules = {}
+        for entry in section.get("module", []):
+            name = entry.get("name")
+            if not name or not isinstance(entry.get("paths"), list):
+                raise LayeringConfigError(
+                    f"{rel_path}: every [[layering.module]] needs a name and "
+                    f"a paths list")
+            if name in modules:
+                raise LayeringConfigError(
+                    f"{rel_path}: duplicate module '{name}'")
+            modules[name] = {"paths": [p.rstrip("/") for p in entry["paths"]],
+                             "deps": list(entry.get("deps", []))}
+        return LayeringConfig(modules, section.get("unrestricted", []),
+                              os.path.dirname(full_path), rel_path)
+
+    def validate(self):
+        """Config-level violations: unknown deps, cycles in the declared DAG."""
+        problems = []
+        for name, module in self.modules.items():
+            for dep in module["deps"]:
+                if dep not in self.modules:
+                    problems.append(f"module '{name}' declares unknown "
+                                    f"dep '{dep}'")
+        # Cycle check over the declared graph (iterative DFS, 3-color).
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self.modules}
+        for start in sorted(self.modules):
+            if color[start] != WHITE:
+                continue
+            stack = [(start, iter(sorted(
+                d for d in self.modules[start]["deps"] if d in self.modules)))]
+            color[start] = GRAY
+            while stack:
+                name, deps = stack[-1]
+                advanced = False
+                for dep in deps:
+                    if color[dep] == GRAY:
+                        cycle = [entry[0] for entry in stack]
+                        cycle = cycle[cycle.index(dep):] + [dep]
+                        problems.append("declared module graph has a cycle: "
+                                        + " -> ".join(cycle))
+                        color[dep] = BLACK  # report each cycle once
+                    elif color[dep] == WHITE:
+                        color[dep] = GRAY
+                        stack.append((dep, iter(sorted(
+                            d for d in self.modules[dep]["deps"]
+                            if d in self.modules))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[name] = BLACK
+                    stack.pop()
+        return problems
+
+    def module_of(self, rel):
+        """Module owning base-relative path `rel`; longest prefix wins."""
+        best = None
+        best_len = -1
+        for name, module in self.modules.items():
+            for prefix in module["paths"]:
+                if rel == prefix or rel.startswith(prefix + "/"):
+                    if len(prefix) > best_len:
+                        best = name
+                        best_len = len(prefix)
+        return best
+
+    def is_unrestricted(self, rel):
+        return any(rel == d or rel.startswith(d + "/")
+                   for d in self.unrestricted)
+
+
+class LayeringAnalyzer(core.Analyzer):
+    name = "layering"
+    description = "enforces the module DAG declared in layering.toml over " \
+                  "the #include graph"
+    default_paths = ("src",)
+    extensions = core.SOURCE_EXTENSIONS + (".toml",)
+    # Needs the whole include graph; CLI paths do not restrict it.
+    accepts_paths = False
+
+    def run(self, files, root):
+        # Fixture mode: a layering.toml inside the scanned set overrides the
+        # packaged config, and paths resolve relative to its directory.
+        config_full = None
+        for full, _rel in files:
+            if os.path.basename(full) == "layering.toml":
+                config_full = full
+                break
+        packaged = config_full is None
+        if packaged:
+            config_full = os.path.join(root, "scripts", "vrc_lint",
+                                       "layering.toml")
+            if not os.path.isfile(config_full):
+                return [core.Violation(
+                    "scripts/vrc_lint/layering.toml", 1, "layering-config",
+                    "layering config missing")]
+        try:
+            config = LayeringConfig.load(config_full, root)
+        except LayeringConfigError as err:
+            return [core.Violation(os.path.relpath(config_full, root), 1,
+                                   "layering-config", str(err))]
+        if packaged:
+            # The packaged config declares repo-root-relative paths; fixture
+            # configs declare paths relative to their own directory.
+            config.base = root
+
+        violations = [core.Violation(config.rel_path, 1, "layering-config",
+                                     problem)
+                      for problem in config.validate()]
+        if violations:
+            return violations  # an invalid DAG makes edge checks meaningless
+
+        base = config.base
+        for full, rel in files:
+            if full == config_full:
+                continue
+            base_rel = os.path.relpath(full, base).replace(os.sep, "/")
+            if base_rel.startswith(".."):
+                continue  # outside the config's scope (never in practice)
+            if config.is_unrestricted(base_rel):
+                continue
+            module = config.module_of(base_rel)
+            if module is None:
+                violations.append(core.Violation(
+                    rel, 1, "unassigned-module",
+                    f"{base_rel} matches no module in {config.rel_path}; "
+                    f"place new code in the DAG deliberately"))
+                continue
+            raw_lines = core.read_lines(full)
+            for index, line in enumerate(raw_lines):
+                match = INCLUDE_RE.match(line)
+                if not match:
+                    continue
+                include = match.group(1)
+                target_rel = "src/" + include
+                if not os.path.isfile(os.path.join(base, target_rel)):
+                    continue  # not a project header under the include root
+                target = config.module_of(target_rel)
+                if target is None:
+                    violations.append(core.Violation(
+                        rel, index + 1, "unassigned-module",
+                        f"include target {target_rel} matches no module in "
+                        f"{config.rel_path}", line))
+                    continue
+                if target == module:
+                    continue
+                if target not in config.modules[module]["deps"]:
+                    violations.append(core.Violation(
+                        rel, index + 1, "layering",
+                        f"module '{module}' may not depend on '{target}' "
+                        f"(edge not declared in {config.rel_path}; a "
+                        f"back-edge or an undeliberate new dependency)",
+                        line))
+        return violations
+
+    # --- self-test -------------------------------------------------------
+
+    def violations_case(self, root):
+        return [os.path.join(self.fixture_dir(root), "violations")]
+
+    def clean_case(self, root):
+        return [os.path.join(self.fixture_dir(root), "clean")]
+
+    def extra_self_test(self, root):
+        """A fixture config whose declared graph contains a cycle must be
+        rejected with layering-config."""
+        failures = []
+        cyclic = os.path.join(self.fixture_dir(root), "cyclic")
+        files = core.collect_files([cyclic], root, self.extensions)
+        found = self.filtered_run(files, root)
+        if not any(v.rule == "layering-config" and "cycle" in v.message
+                   for v in found):
+            failures.append(
+                f"cyclic fixture config must be rejected, got "
+                f"{[str(v) for v in found]}")
+        # The real tree's declared graph must be loadable and acyclic.
+        packaged = os.path.join(root, "scripts", "vrc_lint", "layering.toml")
+        try:
+            problems = LayeringConfig.load(packaged, root).validate()
+        except LayeringConfigError as err:
+            problems = [str(err)]
+        failures.extend(f"packaged layering.toml: {p}" for p in problems)
+        return failures

@@ -1,0 +1,73 @@
+#include "cluster/audit.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/log.h"
+
+namespace vrc::cluster::audit {
+
+Counters& counters() {
+  static Counters instance;
+  return instance;
+}
+
+void reset_counters() { counters() = Counters{}; }
+
+void check_cluster_index(const ClusterIndex& index, const char* context) {
+  ++counters().index_audits;
+  std::string why;
+  if (!index.audit_verify(&why)) {
+    VRC_LOG(kError) << "VRC_AUDIT failed (" << context << "): " << why;
+    std::abort();
+  }
+}
+
+namespace {
+
+// Fields compared between a board row and a freshly captured snapshot.
+// `timestamp` is deliberately absent: undirtied nodes keep their old stamp.
+bool rows_agree(const LoadInfo& board, const LoadInfo& fresh) {
+  return board.node == fresh.node && board.active_jobs == fresh.active_jobs &&
+         board.slots_used == fresh.slots_used &&
+         board.user_memory == fresh.user_memory &&
+         board.total_demand == fresh.total_demand &&
+         board.idle_memory == fresh.idle_memory &&
+         board.fault_rate == fresh.fault_rate &&
+         board.reserved == fresh.reserved &&
+         board.pressured == fresh.pressured && board.failed == fresh.failed;
+}
+
+}  // namespace
+
+void check_board(const LoadInfoBoard& board,
+                 const std::function<std::optional<LoadInfo>(NodeId)>& fresh,
+                 const char* context) {
+  ++counters().board_audits;
+  for (NodeId node = 0; node < board.size(); ++node) {
+    const std::optional<LoadInfo> live = fresh(node);
+    if (!live.has_value()) continue;  // frozen row (failed node): not diffed
+    ++counters().rows_checked;
+    const LoadInfo& row = board.info(node);
+    if (!rows_agree(row, *live)) {
+      VRC_LOG(kError) << "VRC_AUDIT failed (" << context << "): board row for "
+                      << "node " << node << " diverged from fresh state "
+                      << "(board: jobs " << row.active_jobs << ", slots "
+                      << row.slots_used << ", user " << row.user_memory
+                      << ", demand " << row.total_demand << ", idle "
+                      << row.idle_memory << "; fresh: jobs "
+                      << live->active_jobs << ", slots " << live->slots_used
+                      << ", user " << live->user_memory << ", demand "
+                      << live->total_demand << ", idle " << live->idle_memory
+                      << ") — a mutation escaped the dirty set";
+      std::abort();
+    }
+  }
+  std::string why;
+  if (!board.audit_verify(&why)) {
+    VRC_LOG(kError) << "VRC_AUDIT failed (" << context << "): " << why;
+    std::abort();
+  }
+}
+
+}  // namespace vrc::cluster::audit

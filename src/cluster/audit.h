@@ -1,0 +1,58 @@
+// Shadow-verification hooks for the VRC_AUDIT build (DESIGN.md §13.5).
+//
+// The incremental structures (ClusterIndex, the dirty-set board exchange) buy
+// speed by maintaining state instead of recomputing it; a missed publish or a
+// broken fold is invisible until a placement goes subtly wrong. Under
+// -DVRC_AUDIT=ON, Cluster calls these checks from its tick and exchange hooks
+// to compare the incremental answers against brute-force recomputation and
+// abort loudly on the first divergence.
+//
+// Everything here is compiled in every build so the default build can
+// unit-test the checkers; only the *call sites* in cluster.cc are gated
+// behind #ifdef VRC_AUDIT, so the default build's behaviour — and its
+// determinism fingerprints — are untouched.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "cluster/cluster_index.h"
+#include "cluster/load_index.h"
+#include "workload/job.h"
+
+namespace vrc::cluster::audit {
+
+/// Running tallies of audit activity, so tests can assert the checks actually
+/// fired (a silently skipped audit is indistinguishable from a passing one).
+struct Counters {
+  std::uint64_t tick_events = 0;   // ticks seen by the cadence gate
+  std::uint64_t index_audits = 0;  // ClusterIndex::audit_verify sweeps run
+  std::uint64_t board_audits = 0;  // board-vs-live diff sweeps run
+  std::uint64_t rows_checked = 0;  // board rows compared across all sweeps
+};
+
+/// Process-wide counters. A singleton, not a Cluster member, so enabling the
+/// audit never changes any simulation object's layout (ODR-safe when audit
+/// and non-audit objects are mixed) and multi-cluster tests aggregate.
+Counters& counters();
+
+/// Zeroes the counters; tests call this between scenarios.
+void reset_counters();
+
+/// Runs index.audit_verify() and aborts with a VRC_LOG(kError) diagnostic on
+/// failure. `context` names the call site (e.g. "live index after tick").
+void check_cluster_index(const ClusterIndex& index, const char* context);
+
+/// Verifies the board against freshly captured node state: for every node,
+/// `fresh(node)` returns the snapshot the node would publish right now (or
+/// nullopt to skip it — failed nodes keep deliberately frozen rows), and the
+/// board's row must match it field-for-field except `timestamp` (undirtied
+/// nodes legitimately keep their old stamp; their *values* must still agree,
+/// which is exactly the dirty-set soundness contract of DESIGN.md §12). Also
+/// runs board.audit_verify(). Aborts on the first divergence.
+void check_board(const LoadInfoBoard& board,
+                 const std::function<std::optional<LoadInfo>(NodeId)>& fresh,
+                 const char* context);
+
+}  // namespace vrc::cluster::audit

@@ -8,6 +8,10 @@
 #include "metrics/perf_counters.h"
 #include "util/log.h"
 
+#ifdef VRC_AUDIT
+#include "cluster/audit.h"
+#endif
+
 namespace vrc::cluster {
 
 Cluster::Cluster(sim::Simulator& sim, ClusterConfig config, SchedulerPolicy& policy)
@@ -393,6 +397,13 @@ void Cluster::handle_tick(SimTime now) {
     policy_.on_node_pressure(*this, target);
   });
   maybe_finish(now);
+#ifdef VRC_AUDIT
+  // Shadow-verify the live index against brute-force recomputation every
+  // VRC_AUDIT_CADENCE ticks (every tick would make big scenarios O(n^2)).
+  if (++audit::counters().tick_events % VRC_AUDIT_CADENCE == 0) {
+    audit::check_cluster_index(live_index_, "live index after tick");
+  }
+#endif
 }
 
 void Cluster::handle_exchange(SimTime now) {
@@ -420,6 +431,21 @@ void Cluster::handle_exchange(SimTime now) {
     publish_to_board(target, now);
     return true;
   });
+#ifdef VRC_AUDIT
+  // Immediately after the dirty drain, every live node's fresh snapshot must
+  // match its board row except `timestamp` — the dirty-set soundness claim of
+  // DESIGN.md §12, checked here against a full rebroadcast's worth of fresh
+  // snapshots. Failed nodes keep deliberately frozen rows and are skipped.
+  audit::check_board(
+      board_,
+      [&](NodeId id) -> std::optional<LoadInfo> {
+        Workstation& target = *nodes_[id];
+        if (target.failed()) return std::nullopt;
+        return target.snapshot(now);
+      },
+      "board after exchange");
+  audit::check_cluster_index(board_.index(), "board index after exchange");
+#endif
 }
 
 void Cluster::publish_to_board(Workstation& target, SimTime now) {

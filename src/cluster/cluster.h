@@ -66,10 +66,10 @@ class Cluster {
   /// zero) and re-enqueued per config.fault_restart, in-flight reservations
   /// toward the node are dropped so their completions abort, and the board is
   /// updated immediately. No-op when the node is already down.
-  void fail_node(NodeId node);
+  void fail_node(NodeId node);  // vrc:must-publish
   /// Brings a failed node back up (empty, accepting jobs again). No-op when
   /// the node is up.
-  void recover_node(NodeId node);
+  void recover_node(NodeId node);  // vrc:must-publish
 
   // --- accessors ---
   sim::Simulator& simulator() { return sim_; }
@@ -132,7 +132,7 @@ class Cluster {
   /// The one board-publish funnel: writes `node`'s snapshot to the board and
   /// clears its dirty bit, so an immediate (out-of-band) broadcast cannot
   /// double-publish at the next exchange.
-  void publish_to_board(Workstation& node, SimTime now);
+  void publish_to_board(Workstation& node, SimTime now);  // vrc:publish-fn
   void complete_job(std::unique_ptr<RunningJob> job, SimTime now);
   void maybe_finish(SimTime now);
   std::unique_ptr<RunningJob> take_pending(JobId id);

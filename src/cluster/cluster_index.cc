@@ -1,5 +1,7 @@
 #include "cluster/cluster_index.h"
 
+#include <sstream>
+
 namespace vrc::cluster {
 
 void IndexedHeap::upsert(NodeId node, Key key) {
@@ -58,6 +60,62 @@ void IndexedHeap::sift_down(std::size_t slot) {
     slot = child;
   }
   place(slot, entry);
+}
+
+bool IndexedHeap::audit_invariants(std::string* why) const {
+  const auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  for (std::size_t slot = 1; slot < heap_.size(); ++slot) {
+    const std::size_t parent = (slot - 1) / 2;
+    if (precedes(heap_[slot], heap_[parent])) {
+      std::ostringstream out;
+      out << "heap property violated: slot " << slot << " (node "
+          << heap_[slot].node << ") precedes its parent slot " << parent
+          << " (node " << heap_[parent].node << ")";
+      return fail(out.str());
+    }
+  }
+  for (std::size_t slot = 0; slot < heap_.size(); ++slot) {
+    const NodeId node = heap_[slot].node;
+    if (static_cast<std::size_t>(node) >= pos_.size() ||
+        pos_[node] != static_cast<std::int32_t>(slot)) {
+      std::ostringstream out;
+      out << "position map broken: heap slot " << slot << " holds node "
+          << node << " but pos_[" << node << "] is "
+          << (static_cast<std::size_t>(node) < pos_.size() ? pos_[node]
+                                                           : kAbsent);
+      return fail(out.str());
+    }
+  }
+  std::size_t resident = 0;
+  for (const std::int32_t slot : pos_) {
+    if (slot != kAbsent) ++resident;
+  }
+  if (resident != heap_.size()) {
+    std::ostringstream out;
+    out << "position map counts " << resident << " resident nodes but the "
+        << "heap holds " << heap_.size();
+    return fail(out.str());
+  }
+  return true;
+}
+
+bool IndexedHeap::audit_key_is(NodeId node, Key key) const {
+  const std::int32_t slot = pos_[node];
+  if (slot == kAbsent) return false;
+  const Key& stored = heap_[static_cast<std::size_t>(slot)].key;
+  return stored.primary == key.primary && stored.secondary == key.secondary;
+}
+
+std::optional<NodeId> IndexedHeap::audit_linear_min() const {
+  if (heap_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t slot = 1; slot < heap_.size(); ++slot) {
+    if (precedes(heap_[slot], heap_[best])) best = slot;
+  }
+  return heap_[best].node;
 }
 
 ClusterIndex::ClusterIndex(std::size_t num_nodes, Order first, Order second)
@@ -127,6 +185,101 @@ void ClusterIndex::publish(NodeId node, const NodeState& state) {
     first_.upsert(node, key_for(first_order_, state));
     second_.upsert(node, key_for(second_order_, state));
   }
+}
+
+bool ClusterIndex::audit_verify(std::string* why) const {
+  const auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  const std::size_t n = size();
+
+  // O(1) totals vs brute-force sums over non-failed rows.
+  Bytes idle_sum = 0;
+  Bytes available_sum = 0;
+  Bytes user_sum = 0;
+  std::size_t live = 0;
+  for (std::size_t node = 0; node < n; ++node) {
+    const NodeId id = static_cast<NodeId>(node);
+    if (failed(id)) continue;
+    idle_sum += idle_[node];
+    available_sum += available_[node];
+    user_sum += user_[node];
+    ++live;
+  }
+  if (idle_sum != total_idle_ || available_sum != total_available_ ||
+      user_sum != total_user_ || live != live_count_) {
+    std::ostringstream out;
+    out << "aggregate drift: totals are (idle " << total_idle_
+        << ", available " << total_available_ << ", user " << total_user_
+        << ", live " << live_count_ << ") but brute-force sums are (idle "
+        << idle_sum << ", available " << available_sum << ", user "
+        << user_sum << ", live " << live << ")";
+    return fail(out.str());
+  }
+
+  // Heap membership must be exactly the live non-reserved set, and every
+  // stored key must be key_for() of the node's current SoA row.
+  const auto row_state = [this](NodeId node) {
+    NodeState state;
+    state.idle = idle_[node];
+    state.available = available_[node];
+    state.peak = peak_[node];
+    state.user = user_[node];
+    state.active_jobs = active_[node];
+    state.slots_used = slots_[node];
+    state.failed = failed(node);
+    state.reserved = reserved(node);
+    state.pressured = pressured(node);
+    return state;
+  };
+  const struct {
+    const IndexedHeap& heap;
+    Order order;
+    const char* which;
+  } heaps[] = {{first_, first_order_, "first"},
+               {second_, second_order_, "second"}};
+  for (const auto& entry : heaps) {
+    for (std::size_t node = 0; node < n; ++node) {
+      const NodeId id = static_cast<NodeId>(node);
+      const bool eligible = !failed(id) && !reserved(id);
+      if (entry.heap.contains(id) != eligible) {
+        std::ostringstream out;
+        out << entry.which << " heap membership wrong for node " << id
+            << ": contains=" << entry.heap.contains(id) << " but eligible="
+            << eligible << " (failed=" << failed(id) << ", reserved="
+            << reserved(id) << ")";
+        return fail(out.str());
+      }
+      if (eligible && !entry.heap.audit_key_is(id, key_for(entry.order,
+                                                           row_state(id)))) {
+        std::ostringstream out;
+        out << entry.which << " heap holds a stale key for node " << id
+            << " (stored key != key_for of the current row)";
+        return fail(out.str());
+      }
+    }
+    std::string heap_why;
+    if (!entry.heap.audit_invariants(&heap_why)) {
+      std::ostringstream out;
+      out << entry.which << " heap: " << heap_why;
+      return fail(out.str());
+    }
+    // The pruned best() must agree with a linear argmin; both are total
+    // orders, so equality is exact, not approximate.
+    const std::optional<NodeId> pruned =
+        entry.heap.best([](NodeId) { return true; });
+    const std::optional<NodeId> brute = entry.heap.audit_linear_min();
+    if (pruned != brute) {
+      std::ostringstream out;
+      out << entry.which << " heap minimum disagrees: pruned best() says "
+          << (pruned ? static_cast<std::int64_t>(*pruned) : -1)
+          << " but the linear argmin is "
+          << (brute ? static_cast<std::int64_t>(*brute) : -1);
+      return fail(out.str());
+    }
+  }
+  return true;
 }
 
 }  // namespace vrc::cluster

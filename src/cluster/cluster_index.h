@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "metrics/perf_counters.h"
@@ -90,6 +91,24 @@ class IndexedHeap {
     if (!found) return std::nullopt;
     return heap_[best_slot].node;
   }
+
+  // --- shadow-audit surface (DESIGN.md §13.5) ---
+  // Compiled in every build so the default build can unit-test it; the
+  // simulation only calls it from the #ifdef VRC_AUDIT sites in Cluster.
+
+  /// Structural sweep: heap property at every slot, and the position map is
+  /// an exact bijection with the heap array. Returns false and describes the
+  /// first violation in `why` (when non-null).
+  bool audit_invariants(std::string* why) const;
+
+  /// True when `node` is resident with exactly this key — catches an upsert
+  /// that repositioned a node without rewriting its stored key (or vice
+  /// versa).
+  bool audit_key_is(NodeId node, Key key) const;
+
+  /// Brute-force linear argmin over all entries (no heap pruning); the
+  /// cross-check reference for best().
+  std::optional<NodeId> audit_linear_min() const;
 
  private:
   struct Entry {
@@ -164,6 +183,7 @@ class ClusterIndex {
   Bytes idle(NodeId node) const { return idle_[node]; }
   Bytes available(NodeId node) const { return available_[node]; }
   Bytes peak(NodeId node) const { return peak_[node]; }
+  Bytes user(NodeId node) const { return user_[node]; }
   std::int32_t active_jobs(NodeId node) const { return active_[node]; }
   std::int32_t slots_used(NodeId node) const { return slots_[node]; }
   bool failed(NodeId node) const { return (flags_[node] & kFailedFlag) != 0; }
@@ -188,6 +208,17 @@ class ClusterIndex {
 
   const IndexedHeap& first_heap() const { return first_; }
   const IndexedHeap& second_heap() const { return second_; }
+
+  // --- shadow-audit surface (DESIGN.md §13.5) ---
+  /// Full brute-force self-consistency sweep, O(n log n): the O(1) totals
+  /// must equal fresh sums over non-failed rows, heap membership must be
+  /// exactly the live non-reserved set, every stored heap key must equal
+  /// key_for() of the node's SoA row, both heaps must satisfy
+  /// audit_invariants(), and both pruned best() minima must match a linear
+  /// argmin. Compiled in every build (unit-testable); called under
+  /// -DVRC_AUDIT=ON from Cluster's tick/exchange hooks. Returns false and
+  /// describes the first inconsistency in `why` (when non-null).
+  bool audit_verify(std::string* why) const;
 
  private:
   static constexpr std::uint8_t kFailedFlag = 1;

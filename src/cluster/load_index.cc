@@ -1,6 +1,7 @@
 #include "cluster/load_index.h"
 
 #include <algorithm>
+#include <sstream>
 
 namespace vrc::cluster {
 
@@ -33,8 +34,7 @@ Bytes LoadInfoBoard::average_user_memory() const {
   return index_.total_user() / static_cast<Bytes>(index_.live_count());
 }
 
-void LoadInfoBoard::publish(NodeId node) {
-  const LoadInfo& info = infos_[node];
+ClusterIndex::NodeState LoadInfoBoard::state_from(const LoadInfo& info) {
   ClusterIndex::NodeState state;
   state.idle = info.idle_memory;
   state.user = info.user_memory;
@@ -43,7 +43,41 @@ void LoadInfoBoard::publish(NodeId node) {
   state.failed = info.failed;
   state.reserved = info.reserved;
   state.pressured = info.pressured;
-  index_.publish(node, state);
+  return state;
+}
+
+void LoadInfoBoard::publish(NodeId node) {
+  index_.publish(node, state_from(infos_[node]));
+}
+
+bool LoadInfoBoard::audit_verify(std::string* why) const {
+  const auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  for (const LoadInfo& info : infos_) {
+    const ClusterIndex::NodeState want = state_from(info);
+    const NodeId node = info.node;
+    if (index_.idle(node) != want.idle || index_.user(node) != want.user ||
+        index_.active_jobs(node) != want.active_jobs ||
+        index_.slots_used(node) != want.slots_used ||
+        index_.failed(node) != want.failed ||
+        index_.reserved(node) != want.reserved ||
+        index_.pressured(node) != want.pressured) {
+      std::ostringstream out;
+      out << "index row for node " << node
+          << " does not match its LoadInfo snapshot (a writer skipped "
+          << "publish(): idle " << index_.idle(node) << " vs " << want.idle
+          << ", slots " << index_.slots_used(node) << " vs "
+          << want.slots_used << ")";
+      return fail(out.str());
+    }
+  }
+  std::string index_why;
+  if (!index_.audit_verify(&index_why)) {
+    return fail("board index: " + index_why);
+  }
+  return true;
 }
 
 }  // namespace vrc::cluster

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster_index.h"
@@ -81,11 +82,27 @@ class LoadInfoBoard {
   /// Average per-workstation user memory over live nodes.
   Bytes average_user_memory() const;
 
- private:
-  void publish(NodeId node);
+  // --- shadow-audit surface (DESIGN.md §13.5) ---
+  /// Cross-checks the indexed view against the snapshot table it mirrors:
+  /// every index row must equal state_from() of the corresponding LoadInfo,
+  /// and the index must pass its own audit_verify(). Compiled in every build;
+  /// called under -DVRC_AUDIT=ON from Cluster's exchange hook. Returns false
+  /// and describes the first mismatch in `why` (when non-null).
+  bool audit_verify(std::string* why) const;
 
-  std::vector<LoadInfo> infos_;
-  ClusterIndex index_;
+ private:
+  /// Projection of one published snapshot onto the index's key fields —
+  /// the single definition both publish() and audit_verify() rank by.
+  static ClusterIndex::NodeState state_from(const LoadInfo& info);
+
+  /// Re-syncs `node`'s row into the indexed view after an infos_ write.
+  void publish(NodeId node);  // vrc:publish-fn
+
+  // Both halves of the board are board-visible by definition; the
+  // publish-audit lint (DESIGN.md §13.3) checks every writer re-syncs the
+  // index via publish() before returning.
+  std::vector<LoadInfo> infos_;  // vrc:board-visible
+  ClusterIndex index_;           // vrc:board-visible
 };
 
 }  // namespace vrc::cluster

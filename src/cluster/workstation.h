@@ -169,7 +169,7 @@ class Workstation {
   bool aggregates_consistent() const;
 
   /// Rewrites this node's row in the bound live index (no-op when unbound).
-  void publish_index();
+  void publish_index();  // vrc:publish-fn
 
   NodeId id_;
   NodeConfig hardware_;
@@ -177,21 +177,24 @@ class Workstation {
   double speed_factor_ = 1.0;
   double rr_efficiency_ = 1.0;  // q / (q + c)
 
-  std::vector<std::unique_ptr<RunningJob>> jobs_;
+  std::vector<std::unique_ptr<RunningJob>> jobs_;  // vrc:board-visible
   // Incrementally maintained aggregates over jobs_ (updated by add_job,
   // remove_job, set_job_phase, and the per-tick demand refresh), so the
-  // admission/snapshot hot path never rescans the job list.
-  Bytes resident_bytes_ = 0;  // sum of demand over non-suspended jobs
-  Bytes peak_bytes_ = 0;      // sum of spec working sets over non-suspended jobs
-  int active_count_ = 0;      // non-suspended jobs
-  int runnable_count_ = 0;    // jobs in phase kRunning
-  int incoming_count_ = 0;
-  Bytes incoming_bytes_ = 0;
-  std::vector<std::pair<JobId, Bytes>> incoming_;
-  bool reserved_ = false;
-  bool failed_ = false;
+  // admission/snapshot hot path never rescans the job list. Every field the
+  // board snapshot derives from is tagged vrc:board-visible: the
+  // publish-audit lint (DESIGN.md §13.3) checks that member functions
+  // writing them republish via publish_index() on every path out.
+  Bytes resident_bytes_ = 0;  // vrc:board-visible demand over non-suspended jobs
+  Bytes peak_bytes_ = 0;      // vrc:board-visible spec working sets, non-suspended
+  int active_count_ = 0;      // vrc:board-visible non-suspended jobs
+  int runnable_count_ = 0;    // vrc:board-visible jobs in phase kRunning
+  int incoming_count_ = 0;    // vrc:board-visible
+  Bytes incoming_bytes_ = 0;  // vrc:board-visible
+  std::vector<std::pair<JobId, Bytes>> incoming_;  // vrc:board-visible
+  bool reserved_ = false;  // vrc:board-visible
+  bool failed_ = false;    // vrc:board-visible
 
-  double fault_rate_ = 0.0;
+  double fault_rate_ = 0.0;  // vrc:board-visible
   double total_faults_ = 0.0;
   SimTime cpu_busy_ = 0.0;
   std::uint64_t jobs_completed_ = 0;

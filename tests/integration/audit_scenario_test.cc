@@ -1,0 +1,145 @@
+// Exercises the VRC_AUDIT shadow-verification surface (DESIGN.md §13.5).
+//
+// The audit checkers are compiled into every build, so the first half
+// unit-tests them directly against hand-built structures regardless of build
+// flavour. The second half runs one fault scenario end-to-end: under
+// -DVRC_AUDIT=ON the tick/exchange call sites are live and the counters must
+// show both audits actually fired (an audit that silently never runs looks
+// exactly like one that always passes); in the default build the same run
+// must leave the counters untouched, proving the hooks are fully compiled
+// out of the hot path.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "cluster/audit.h"
+#include "cluster/cluster_index.h"
+#include "cluster/load_index.h"
+#include "core/experiment.h"
+#include "workload/trace_generator.h"
+
+namespace vrc {
+namespace {
+
+using cluster::ClusterIndex;
+using cluster::IndexedHeap;
+using cluster::LoadInfo;
+using cluster::LoadInfoBoard;
+using workload::NodeId;
+
+TEST(AuditSurfaceTest, HeapInvariantsHoldUnderChurn) {
+  IndexedHeap heap(8);
+  for (NodeId node = 0; node < 8; ++node) {
+    heap.upsert(node, {static_cast<std::int64_t>(7 - node), 0});
+  }
+  heap.upsert(3, {-5, 2});  // decrease
+  heap.upsert(0, {9, 9});   // increase
+  heap.erase(5);
+  std::string why;
+  EXPECT_TRUE(heap.audit_invariants(&why)) << why;
+  EXPECT_TRUE(heap.audit_key_is(3, {-5, 2}));
+  EXPECT_FALSE(heap.audit_key_is(3, {-5, 1}));  // stale-key detector
+  EXPECT_FALSE(heap.audit_key_is(5, {2, 0}));   // evicted node
+  // The pruned best() and the brute-force argmin must pick the same node.
+  EXPECT_EQ(heap.best([](NodeId) { return true; }), heap.audit_linear_min());
+  EXPECT_EQ(heap.audit_linear_min(), std::optional<NodeId>(3));
+}
+
+TEST(AuditSurfaceTest, ClusterIndexVerifiesAfterPublishChurn) {
+  ClusterIndex index(6, ClusterIndex::Order::kMinSlotsMaxIdle,
+                     ClusterIndex::Order::kMaxIdle);
+  for (NodeId node = 0; node < 6; ++node) {
+    ClusterIndex::NodeState state;
+    state.idle = 100 * (node + 1);
+    state.available = 50 * (node + 1);
+    state.user = 10 * (node + 1);
+    state.active_jobs = static_cast<std::int32_t>(node);
+    state.slots_used = static_cast<std::int32_t>(node % 3);
+    index.publish(node, state);
+  }
+  ClusterIndex::NodeState failed;
+  failed.failed = true;
+  index.publish(2, failed);  // eviction path
+  ClusterIndex::NodeState reserved;
+  reserved.idle = 500;
+  reserved.reserved = true;
+  index.publish(4, reserved);  // reserved eviction, still counted live
+  std::string why;
+  EXPECT_TRUE(index.audit_verify(&why)) << why;
+}
+
+TEST(AuditSurfaceTest, BoardVerifiesAndCheckersCount) {
+  LoadInfoBoard board(4);
+  for (NodeId node = 0; node < 4; ++node) {
+    LoadInfo info;
+    info.node = node;
+    info.active_jobs = static_cast<int>(node);
+    info.slots_used = static_cast<int>(node) + 1;
+    info.user_memory = 1000 * (node + 1);
+    info.idle_memory = 200 * (node + 1);
+    board.update(info);
+  }
+  std::string why;
+  EXPECT_TRUE(board.audit_verify(&why)) << why;
+
+  cluster::audit::reset_counters();
+  cluster::audit::check_cluster_index(board.index(), "unit test");
+  cluster::audit::check_board(
+      board,
+      [&](NodeId node) -> std::optional<LoadInfo> {
+        if (node == 1) return std::nullopt;  // frozen row: skipped, not diffed
+        return board.info(node);
+      },
+      "unit test");
+  const cluster::audit::Counters& counters = cluster::audit::counters();
+  EXPECT_EQ(counters.index_audits, 1u);
+  EXPECT_EQ(counters.board_audits, 1u);
+  EXPECT_EQ(counters.rows_checked, 3u);  // 4 nodes minus the frozen one
+  cluster::audit::reset_counters();
+}
+
+TEST(AuditScenarioTest, FaultScenarioRunsUnderAudit) {
+  cluster::audit::reset_counters();
+
+  workload::TraceParams params;
+  params.name = "audit-scenario";
+  params.group = workload::WorkloadGroup::kSpec;
+  params.num_jobs = 60;
+  params.duration = 600.0;
+  params.num_nodes = 8;
+  params.seed = 11;
+  const workload::Trace trace = workload::generate_trace(params);
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 8);
+
+  core::ExperimentOptions options;
+  // Two explicit outages: one node crashes and recovers mid-run, another
+  // fails while exchanges are still frequent — exercising the frozen-row
+  // skip, the eviction/rejoin paths, and the immediate broadcasts.
+  options.fault_entries = {{2, 60.0, 45.0}, {5, 150.0, 90.0}};
+  const auto report =
+      core::run_policy_on_trace(core::PolicyKind::kVReconfiguration, trace, config, options);
+  EXPECT_EQ(report.jobs_completed, report.jobs_submitted);
+
+  const cluster::audit::Counters& counters = cluster::audit::counters();
+#ifdef VRC_AUDIT
+  // The shadow checks must actually have fired — on every exchange for the
+  // board, and at the configured cadence for the live index.
+  EXPECT_GT(counters.board_audits, 0u);
+  EXPECT_GT(counters.rows_checked, 0u);
+  EXPECT_GT(counters.index_audits, counters.board_audits)
+      << "expected per-exchange board-index audits plus cadence-gated live "
+         "index audits";
+  EXPECT_GT(counters.tick_events, 0u);
+#else
+  // Default build: the call sites are compiled out; a nonzero counter here
+  // means audit overhead leaked into the production configuration.
+  EXPECT_EQ(counters.tick_events, 0u);
+  EXPECT_EQ(counters.index_audits, 0u);
+  EXPECT_EQ(counters.board_audits, 0u);
+#endif
+  cluster::audit::reset_counters();
+}
+
+}  // namespace
+}  // namespace vrc
