@@ -4,12 +4,18 @@
 // executes hundreds of millions of node-ticks.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+#include <string>
+
 #include "cluster/cluster.h"
 #include "core/baselines.h"
 #include "core/experiment.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "workload/arrival_source.h"
+#include "workload/swf_source.h"
 #include "workload/trace_generator.h"
+#include "workload/trace_spec.h"
 
 namespace {
 
@@ -310,5 +316,74 @@ BENCHMARK(BM_ExchangeScaling)
     ->Arg(2048)
     ->Arg(10240)
     ->Unit(benchmark::kMicrosecond);
+
+// SWF line-parse throughput: drain an in-memory archive-style log through
+// SwfTraceSource (DESIGN.md §14.4). The body is synthesized once outside the
+// measured loop; each iteration re-parses all of it, so items/s is
+// jobs-parsed/s including the skip rules (a slice of cancelled and
+// never-ran entries is mixed in, as in the real logs).
+void BM_SwfParse(benchmark::State& state) {
+  using namespace vrc;
+  constexpr int kLines = 8192;
+  std::string body = "; synthetic SWF body for the parse bench\n";
+  body.reserve(static_cast<std::size_t>(kLines) * 64);
+  for (int i = 1; i <= kLines; ++i) {
+    const int status = (i % 31 == 0) ? 5 : 1;      // ~3% cancelled
+    const int run = (i % 47 == 0) ? 0 : 30 + i % 600;  // ~2% never ran
+    const int procs = 1 + i % 8;
+    const int mem_kb = (i % 3 == 0) ? -1 : 1024 + (i % 8) * 512;
+    body += std::to_string(i) + ' ' + std::to_string(i * 7) + " 0 " + std::to_string(run) + ' ' +
+            std::to_string(procs) + " -1 " + std::to_string(mem_kb) + ' ' +
+            std::to_string(procs) + " -1 -1 " + std::to_string(status) + " 1 1 " +
+            std::to_string(1 + i % 16) + " 1 1 -1 -1\n";
+  }
+  std::uint64_t jobs = 0;
+  for (auto _ : state) {
+    workload::SwfTraceSource source("bench", std::istringstream(body));
+    while (source.next()) ++jobs;
+  }
+  benchmark::DoNotOptimize(jobs);
+  state.SetItemsProcessed(state.iterations() * kLines);
+}
+BENCHMARK(BM_SwfParse);
+
+// Streamed end-to-end run: the standard trace-3 shape (578 SPEC jobs,
+// ~3581 s, 32 nodes) driven through Cluster::submit_source with a
+// GeneratedStreamSource instead of a materialized Trace. Arg(0) runs the
+// materialized baseline on the identical shape, Arg(1) the streamed pump;
+// the delta between the two rows is the pump's per-job overhead (one
+// lookahead event plus free-list recycling) — it should be noise-level,
+// while peak live JobSpec storage drops from O(total jobs) to
+// O(concurrent jobs).
+void BM_StreamingArrivals(benchmark::State& state) {
+  using namespace vrc;
+  const bool streamed = state.range(0) != 0;
+  const workload::TraceSpec spec = workload::TraceSpec::standard(workload::WorkloadGroup::kSpec, 3);
+  const workload::TraceParams params = spec.to_params(32);
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 32);
+  const workload::Trace trace = streamed ? workload::Trace{} : spec.build(32);
+
+  std::uint64_t jobs_done = 0;
+  for (auto _ : state) {
+    std::optional<metrics::RunReport> report;
+    if (streamed) {
+      workload::GeneratedStreamSource source(params);
+      report = core::run_policy_on_source(core::PolicySpec("g-loadsharing"), source, config);
+    } else {
+      report = core::run_policy_on_trace(core::PolicySpec("g-loadsharing"), trace, config);
+    }
+    if (!report || report->jobs_completed != params.num_jobs) {
+      state.SkipWithError("run did not drain");
+      break;
+    }
+    jobs_done += report->jobs_completed;
+  }
+  benchmark::DoNotOptimize(jobs_done);
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(params.num_jobs));
+}
+BENCHMARK(BM_StreamingArrivals)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace

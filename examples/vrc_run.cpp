@@ -22,6 +22,7 @@
 #include "runner/scenario.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "workload/trace_generator.h"
 
 using namespace vrc;
 
@@ -57,9 +58,11 @@ int main(int argc, char** argv) {
   double max_sim_time = 0.0;
   int jobs = 0;
   bool csv = false;
+  bool stream = false;
   bool perf_counters = false;
   bool list_policies = false;
   bool list_overrides = false;
+  bool list_traces = false;
 
   util::FlagSet flags;
   flags.add_string("scenario", &scenario_path, "scenario spec file to load first");
@@ -77,12 +80,17 @@ int main(int argc, char** argv) {
                    "simulated-time safety cap in seconds (0: scenario default)");
   flags.add_int("jobs", &jobs, "parallel worker threads (0 = one per hardware thread)");
   flags.add_bool("csv", &csv, "emit CSV instead of an ASCII table");
+  flags.add_bool("stream", &stream,
+                 "pump workloads through a pull-based arrival source instead of materializing "
+                 "whole traces (same results for generated workloads, O(concurrent) memory)");
   flags.add_bool("perf-counters", &perf_counters,
                  "collect engine perf counters across all runs and print them to stderr");
   flags.add_bool("list-policies", &list_policies,
                  "print every registered policy with its parameters, then exit");
   flags.add_bool("list-overrides", &list_overrides,
                  "print every `--set` config override key, then exit");
+  flags.add_bool("list-traces", &list_traces,
+                 "print the standard trace shapes and the trace-spec syntax, then exit");
   if (!flags.parse(argc, argv)) return 1;
 
   if (list_policies) {
@@ -105,6 +113,25 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (list_traces) {
+    std::printf("standard traces (paper §3.3.2; use as spec:trace=N or apps:trace=N):\n");
+    std::printf("  %-6s %-6s %-6s %-6s %-9s\n", "index", "sigma", "mu", "jobs", "duration");
+    for (int index = 1; index <= 5; ++index) {
+      const workload::StandardTraceShape shape = workload::standard_trace_shape(index);
+      std::printf("  %-6d %-6.1f %-6.1f %-6zu %-9.0f\n", index, shape.sigma, shape.mu,
+                  shape.num_jobs, shape.duration);
+    }
+    std::printf("\ngenerated workloads:\n");
+    std::printf("  <spec|apps>:trace=1..5[,seed=S,arrival_scale=A,nodes=N,name=X]\n");
+    std::printf("  <spec|apps>:jobs=J,duration=D[,seed=S,arrival_scale=A,nodes=N,name=X]\n");
+    std::printf("\nSWF log replay (Standard Workload Format):\n");
+    std::printf(
+        "  swf:file=PATH[,scale=S,max_jobs=J,min_runtime=R,group=spec|apps,nodes=N,name=X]\n");
+    std::printf("  scenario-file form: trace swf file=PATH scale=S ...\n");
+    std::printf("\nadd --stream (or `stream on` in a scenario file) to pump arrivals through\n");
+    std::printf("a pull-based source with O(concurrent jobs) memory.\n");
+    return 0;
+  }
 
   std::string error;
   runner::ScenarioSpec spec;
@@ -125,6 +152,7 @@ int main(int argc, char** argv) {
       apply_list(&spec, "policy", policies, &error) &&
       (overrides.empty() || spec.apply_line("set " + overrides, &error)) &&
       (cluster.empty() || spec.apply_line("cluster " + cluster, &error)) &&
+      (!stream || spec.apply_line("stream on", &error)) &&
       (nodes == 0 || spec.apply_line("nodes " + std::to_string(nodes), &error)) &&
       (trials == 0 || spec.apply_line("trials " + std::to_string(trials), &error)) &&
       (base_seed < 0 || spec.apply_line("base_seed " + std::to_string(base_seed), &error)) &&

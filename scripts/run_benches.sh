@@ -35,6 +35,16 @@ if ! grep -q '"BM_ExchangeScaling/10240"' "${out_json}"; then
   exit 1
 fi
 
+# The streaming-arrival benches are the evidence for the pull-based pump
+# (DESIGN.md §14): SWF line-parse throughput and the streamed counterpart of
+# the 1024-node end-to-end run; same rule.
+for required in BM_SwfParse BM_StreamingArrivals; do
+  if ! grep -q "\"${required}\"" "${out_json}"; then
+    echo "error: ${out_json} is missing ${required}" >&2
+    exit 1
+  fi
+done
+
 # Fault-matrix table bench: deterministic policy-resilience sweep. Its JSON
 # gate coverage comes from BM_EndToEndFaultedRun above; running the table
 # binary here catches link/runtime breakage of the faults subsystem in the

@@ -47,6 +47,7 @@ Cluster::~Cluster() {
   // also frees unfired move-only payloads (in-flight jobs), and cancelling
   // an already-fired id is a no-op.
   for (const sim::EventId id : owned_events_) sim_.cancel(id);
+  if (arrival_event_ != sim::kInvalidEventId) sim_.cancel(arrival_event_);
 }
 
 void Cluster::submit_trace(const workload::Trace& trace) {
@@ -63,9 +64,14 @@ void Cluster::submit_job(const workload::JobSpec& spec) {
 }
 
 void Cluster::on_arrival(const workload::JobSpec& spec) {
+  arrive(spec, /*stream_slot=*/nullptr);
+}
+
+void Cluster::arrive(const workload::JobSpec& spec, workload::JobSpec* stream_slot) {
   ensure_tasks_running();
   auto job = std::make_unique<RunningJob>();
   job->spec = &spec;
+  job->stream_slot = stream_slot;
   job->home_node = static_cast<NodeId>(spec.home_node % nodes_.size());
   job->phase = JobPhase::kPending;
   job->accounted_until = sim_.now();
@@ -73,6 +79,51 @@ void Cluster::on_arrival(const workload::JobSpec& spec) {
   RunningJob& ref = *job;
   pending_.push_back(std::move(job));
   policy_.on_job_arrival(*this, ref);
+}
+
+void Cluster::submit_source(workload::ArrivalSource& source) {
+  assert(source_ == nullptr && "submit_source: a source is already attached");
+  source_ = &source;
+  schedule_next_arrival();
+}
+
+void Cluster::schedule_next_arrival() {
+  const std::optional<SimTime> when = source_->peek_time();
+  if (!when) {
+    // Drained: detach so maybe_finish can close the run once the last
+    // streamed jobs complete (expected_jobs_ is final from here on).
+    source_ = nullptr;
+    arrival_event_ = sim::kInvalidEventId;
+    return;
+  }
+  // Exactly one outstanding arrival event per attached source: the previous
+  // one has fired (or none exists), so overwriting the slot is safe and the
+  // event heap never holds more than one pending arrival for the stream.
+  arrival_event_ = sim_.schedule_at(*when, [this] { pump_arrival(); });
+}
+
+void Cluster::pump_arrival() {
+  std::optional<workload::JobSpec> spec = source_->next();
+  assert(spec && "pump_arrival: peek_time promised a job");
+  workload::JobSpec* slot = nullptr;
+  if (!spec_free_list_.empty()) {
+    slot = spec_free_list_.back();
+    spec_free_list_.pop_back();
+    *slot = std::move(*spec);
+    metrics::perf_add(&metrics::PerfCounters::spec_slots_recycled);
+  } else {
+    stream_specs_.push_back(std::move(*spec));
+    slot = &stream_specs_.back();
+  }
+  ++expected_jobs_;
+  if (finished_ && completed_.size() < expected_jobs_) finished_ = false;
+  peak_live_specs_ = std::max(peak_live_specs_, live_stream_specs());
+  metrics::perf_add(&metrics::PerfCounters::stream_arrivals);
+  metrics::perf_max(&metrics::PerfCounters::peak_live_specs, peak_live_specs_);
+  // Schedule the successor before raising the arrival so the pump keeps
+  // running even if the policy callback throws the run into a terminal state.
+  schedule_next_arrival();
+  arrive(*slot, slot);
 }
 
 void Cluster::ensure_tasks_running() {
@@ -472,11 +523,19 @@ void Cluster::complete_job(std::unique_ptr<RunningJob> job, SimTime now) {
   record.final_node = job->node;
   record.working_set = job->spec->working_set();
   completed_.push_back(record);
+  // A streamed spec's storage is dead once the record above captured what
+  // metrics need; recycle the slot for a future arrival (the free-list keeps
+  // the slab at peak-concurrency size). Materialized specs (stream_slot ==
+  // nullptr) stay put: pre-scheduled arrival events still reference them.
+  if (job->stream_slot != nullptr) spec_free_list_.push_back(job->stream_slot);
   policy_.on_job_completed(*this, completed_.back());
 }
 
 void Cluster::maybe_finish(SimTime now) {
   if (finished_) return;
+  // An attached source still has arrivals to pump: the expected-job count is
+  // open-ended until it drains, so the run cannot be over yet.
+  if (source_ != nullptr) return;
   if (completed_.size() < expected_jobs_) return;
   if (!pending_.empty() || inflight_ != 0) return;
   finished_ = true;

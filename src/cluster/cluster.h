@@ -18,6 +18,7 @@
 #include "cluster/workstation.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "workload/arrival_source.h"
 #include "workload/trace.h"
 
 namespace vrc::cluster {
@@ -43,6 +44,14 @@ class Cluster {
   void submit_trace(const workload::Trace& trace);
   /// Schedules a single job (specs are copied; arrival at spec.submit_time).
   void submit_job(const workload::JobSpec& spec);
+  /// Attaches a pull-based arrival stream: exactly one pending arrival event
+  /// is scheduled at a time (the source's peek_time), and each fired arrival
+  /// pulls one spec and schedules the next. Completed streamed specs are
+  /// recycled through a free-list, so live JobSpec storage is O(concurrent
+  /// jobs), not O(total stream length) — see DESIGN.md §14. The source must
+  /// outlive the run (run_experiment owns it for the scenario paths). The
+  /// run finishes only after the source drains. One source at a time.
+  void submit_source(workload::ArrivalSource& source);
 
   // --- operations for policies ---
   /// Places a pending job on `node` with no transfer cost (local submission
@@ -92,9 +101,20 @@ class Cluster {
 
   /// Completed-job records, in completion order.
   const std::vector<CompletedJob>& completed() const { return completed_; }
+  /// Jobs submitted so far. With an attached ArrivalSource this grows as the
+  /// stream is pumped and is only final once streaming() is false.
   std::size_t submitted_count() const { return expected_jobs_; }
   bool finished() const { return finished_; }
   SimTime finish_time() const { return finish_time_; }
+
+  // --- streaming statistics ---
+  /// True while an attached ArrivalSource has arrivals left to pump.
+  bool streaming() const { return source_ != nullptr; }
+  /// Streamed specs currently alive (arrived, not yet completed+recycled).
+  std::size_t live_stream_specs() const { return stream_specs_.size() - spec_free_list_.size(); }
+  /// High-water mark of live_stream_specs() — the bounded-memory evidence
+  /// for long streams (O(concurrent), not O(total)).
+  std::size_t peak_live_specs() const { return peak_live_specs_; }
 
   /// Live (not board-snapshot) cluster-wide idle memory over non-failed
   /// nodes; an O(1) running total from the live index. Used by metric
@@ -126,6 +146,13 @@ class Cluster {
 
  private:
   void on_arrival(const workload::JobSpec& spec);
+  /// Shared arrival tail: builds the RunningJob (stream_slot non-null for
+  /// pump arrivals) and raises on_job_arrival.
+  void arrive(const workload::JobSpec& spec, workload::JobSpec* stream_slot);
+  /// Schedules the single pending pump arrival at source_->peek_time(), or
+  /// detaches a drained source.
+  void schedule_next_arrival();
+  void pump_arrival();
   void ensure_tasks_running();
   void handle_tick(SimTime now);
   void handle_exchange(SimTime now);
@@ -152,6 +179,14 @@ class Cluster {
 
   std::vector<std::unique_ptr<Workstation>> nodes_;
   std::deque<workload::JobSpec> specs_;  // stable storage for submitted specs
+  /// Streamed-spec slab: deque for pointer stability, recycled through
+  /// spec_free_list_ when a streamed job completes, so the slab's size tracks
+  /// peak concurrency instead of total stream length.
+  std::deque<workload::JobSpec> stream_specs_;
+  std::vector<workload::JobSpec*> spec_free_list_;
+  workload::ArrivalSource* source_ = nullptr;  // non-null while pumping
+  sim::EventId arrival_event_ = sim::kInvalidEventId;  // the one outstanding pump arrival
+  std::size_t peak_live_specs_ = 0;
   std::vector<std::unique_ptr<RunningJob>> pending_;
   std::vector<CompletedJob> completed_;
   std::vector<SimTime> last_pressure_callback_;

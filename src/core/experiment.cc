@@ -61,10 +61,15 @@ std::unique_ptr<cluster::SchedulerPolicy> make_policy(PolicyKind kind, std::stri
   return make_policy(PolicySpec(*name), error);
 }
 
-metrics::RunReport run_experiment(const workload::Trace& trace,
-                                  const cluster::ClusterConfig& config,
-                                  cluster::SchedulerPolicy& policy,
-                                  const ExperimentOptions& options) {
+namespace {
+
+/// Shared run body: `submit` attaches the workload (materialized trace or
+/// streaming source) to the freshly built cluster before the event loop.
+template <typename SubmitFn>
+metrics::RunReport run_experiment_impl(const std::string& workload_name,
+                                       const cluster::ClusterConfig& config,
+                                       cluster::SchedulerPolicy& policy,
+                                       const ExperimentOptions& options, SubmitFn&& submit) {
   // Per-run perf capture (no-op unless `vrc_run --perf-counters` enabled the
   // global switch): binds thread-local counters for the whole run — including
   // sweep cells on ThreadPool workers — and merges them into the process
@@ -82,13 +87,38 @@ metrics::RunReport run_experiment(const workload::Trace& trace,
   if (!plan.empty()) {
     injector = std::make_unique<faults::FaultInjector>(sim, cluster, plan);
   }
-  cluster.submit_trace(trace);
+  submit(cluster);
   sim.run_until(options.max_sim_time);
   // Folded after the run so the event loop itself carries no counting cost.
   metrics::perf_add(&metrics::PerfCounters::events_executed, sim.executed_events());
   collector.stop();
-  metrics::RunReport report = collector.report(trace.name(), policy.name());
+  metrics::RunReport report = collector.report(workload_name, policy.name());
+  report.peak_live_specs = cluster.peak_live_specs();
   report.policy_stats = policy.stats();
+  return report;
+}
+
+}  // namespace
+
+metrics::RunReport run_experiment(const workload::Trace& trace,
+                                  const cluster::ClusterConfig& config,
+                                  cluster::SchedulerPolicy& policy,
+                                  const ExperimentOptions& options) {
+  return run_experiment_impl(trace.name(), config, policy, options,
+                             [&trace](cluster::Cluster& cluster) {
+                               cluster.submit_trace(trace);
+                             });
+}
+
+metrics::RunReport run_experiment(workload::ArrivalSource& source,
+                                  const cluster::ClusterConfig& config,
+                                  cluster::SchedulerPolicy& policy,
+                                  const ExperimentOptions& options) {
+  metrics::RunReport report = run_experiment_impl(source.name(), config, policy, options,
+                                                  [&source](cluster::Cluster& cluster) {
+                                                    cluster.submit_source(source);
+                                                  });
+  report.streamed = true;
   return report;
 }
 
@@ -114,6 +144,16 @@ std::optional<metrics::RunReport> run_policy_on_trace(const PolicySpec& spec,
   std::unique_ptr<cluster::SchedulerPolicy> policy = make_policy(spec, error);
   if (!policy) return std::nullopt;
   return run_experiment(trace, config, *policy, options);
+}
+
+std::optional<metrics::RunReport> run_policy_on_source(const PolicySpec& spec,
+                                                       workload::ArrivalSource& source,
+                                                       const cluster::ClusterConfig& config,
+                                                       const ExperimentOptions& options,
+                                                       std::string* error) {
+  std::unique_ptr<cluster::SchedulerPolicy> policy = make_policy(spec, error);
+  if (!policy) return std::nullopt;
+  return run_experiment(source, config, *policy, options);
 }
 
 cluster::ClusterConfig paper_cluster_for(workload::WorkloadGroup group, std::size_t nodes) {

@@ -73,6 +73,17 @@ metrics::RunReport run_experiment(const workload::Trace& trace,
                                   cluster::SchedulerPolicy& policy,
                                   const ExperimentOptions& options = {});
 
+/// Streaming variant: pumps `source` through Cluster::submit_source instead
+/// of materializing a Trace, so live JobSpec storage is O(concurrent jobs)
+/// regardless of stream length (DESIGN.md §14). For a generated source this
+/// produces the fingerprint-identical report to the materialized overload on
+/// the same parameters. The report's `streamed` / `peak_live_specs` fields
+/// record the pump statistics. The source is consumed.
+metrics::RunReport run_experiment(workload::ArrivalSource& source,
+                                  const cluster::ClusterConfig& config,
+                                  cluster::SchedulerPolicy& policy,
+                                  const ExperimentOptions& options = {});
+
 /// Convenience wrapper constructing the policy by kind.
 metrics::RunReport run_policy_on_trace(PolicyKind kind, const workload::Trace& trace,
                                        const cluster::ClusterConfig& config,
@@ -86,6 +97,14 @@ std::optional<metrics::RunReport> run_policy_on_trace(const PolicySpec& spec,
                                                       const cluster::ClusterConfig& config,
                                                       const ExperimentOptions& options = {},
                                                       std::string* error = nullptr);
+
+/// Streaming counterpart of the spec-based run_policy_on_trace: constructs
+/// the policy from the registry and pumps `source` (consumed) through it.
+std::optional<metrics::RunReport> run_policy_on_source(const PolicySpec& spec,
+                                                       workload::ArrivalSource& source,
+                                                       const cluster::ClusterConfig& config,
+                                                       const ExperimentOptions& options = {},
+                                                       std::string* error = nullptr);
 
 /// The paper's testbed for a workload group: cluster 1 for the SPEC group,
 /// cluster 2 for the application group.

@@ -37,6 +37,9 @@ void PerfCounters::merge(const PerfCounters& other) {
   submission_scans += other.submission_scans;
   migration_scans += other.migration_scans;
   reservation_scans += other.reservation_scans;
+  stream_arrivals += other.stream_arrivals;
+  spec_slots_recycled += other.spec_slots_recycled;
+  if (other.peak_live_specs > peak_live_specs) peak_live_specs = other.peak_live_specs;
   exchange_wall_ns += other.exchange_wall_ns;
   tick_wall_ns += other.tick_wall_ns;
 }
@@ -58,6 +61,9 @@ std::vector<std::pair<const char*, std::uint64_t>> PerfCounters::entries() const
       {"submission_scans", submission_scans},
       {"migration_scans", migration_scans},
       {"reservation_scans", reservation_scans},
+      {"stream_arrivals", stream_arrivals},
+      {"spec_slots_recycled", spec_slots_recycled},
+      {"peak_live_specs", peak_live_specs},
       {"exchange_wall_ns", exchange_wall_ns},
       {"tick_wall_ns", tick_wall_ns},
   };

@@ -50,12 +50,17 @@ struct PerfCounters {
   std::uint64_t submission_scans = 0;
   std::uint64_t migration_scans = 0;
   std::uint64_t reservation_scans = 0;
+  // Streaming arrival pump (Cluster::submit_source).
+  std::uint64_t stream_arrivals = 0;       // specs pulled from an ArrivalSource
+  std::uint64_t spec_slots_recycled = 0;   // free-list hits (slab reuse)
+  std::uint64_t peak_live_specs = 0;       // MAX-merged: high-water live specs
   // Wall-time buckets (ns). Observability only — never read by simulation
   // code, so host timing cannot leak into event order.
   std::uint64_t exchange_wall_ns = 0;
   std::uint64_t tick_wall_ns = 0;
 
-  /// Field-wise sum of `other` into this.
+  /// Field-wise sum of `other` into this (peak_live_specs is max-merged: a
+  /// high-water mark across runs is the max of per-run peaks, not their sum).
   void merge(const PerfCounters& other);
 
   /// (label, value) pairs in declaration order, for printing.
@@ -76,6 +81,14 @@ std::uint64_t monotonic_ns();
 /// Adds `n` to `field` of the thread's active capture; no-op otherwise.
 inline void perf_add(std::uint64_t PerfCounters::* field, std::uint64_t n = 1) {
   if (PerfCounters* counters = perf_detail::tl_counters) counters->*field += n;
+}
+
+/// Raises `field` of the thread's active capture to at least `value`
+/// (high-water-mark counters); no-op when no capture is active.
+inline void perf_max(std::uint64_t PerfCounters::* field, std::uint64_t value) {
+  if (PerfCounters* counters = perf_detail::tl_counters) {
+    if (counters->*field < value) counters->*field = value;
+  }
 }
 
 /// True when a ScopedPerfCapture is active on the current thread.

@@ -31,6 +31,9 @@ std::string describe(const RunReport& report) {
        << " cpu-s, downtime=" << report.downtime_node_seconds
        << " node-s, availability=" << report.availability << '\n';
   }
+  if (report.streamed) {
+    os << "  streamed: peak live specs=" << report.peak_live_specs << '\n';
+  }
   if (!report.policy_stats.empty()) {
     os << "  policy:";
     for (const auto& [key, value] : report.policy_stats) os << ' ' << key << '=' << value;

@@ -76,6 +76,13 @@ struct RunReport {
   /// Fraction of node-time the cluster was up: 1 - downtime / (N * elapsed).
   double availability = 1.0;
 
+  // Streaming-pump statistics (DESIGN.md §14): false/0 on materialized runs,
+  // so pre-streaming report renderings stay byte-identical.
+  bool streamed = false;
+  /// High-water mark of live streamed JobSpecs — the bounded-memory evidence
+  /// that a long stream ran in O(concurrent jobs) spec storage.
+  std::uint64_t peak_live_specs = 0;
+
   // Policy-specific counters (SchedulerPolicy::stats()), filled by the
   // experiment runner.
   std::vector<std::pair<std::string, double>> policy_stats;

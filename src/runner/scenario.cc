@@ -48,8 +48,8 @@ bool parse_uint64(const std::string& value, std::uint64_t* out) {
 }
 
 constexpr const char* kKnownDirectives =
-    "trace, policy, cluster, nodes, set, fault, trials, base_seed, sampling_interval, "
-    "max_sim_time";
+    "trace, policy, cluster, nodes, set, fault, stream, trials, base_seed, "
+    "sampling_interval, max_sim_time";
 
 }  // namespace
 
@@ -68,7 +68,22 @@ bool ScenarioSpec::apply_line(const std::string& raw, std::string* error) {
   }
 
   if (directive == "trace") {
-    std::optional<workload::TraceSpec> parsed = workload::TraceSpec::parse(arg, error);
+    // The SWF replay form reads naturally with spaces —
+    //   trace swf file=tests/data/swf/NASA-iPSC-1993-3.swf scale=0.1
+    // — normalize it to the canonical colon/comma TraceSpec text.
+    std::string text = arg;
+    if (text == "swf" || text.rfind("swf ", 0) == 0 || text.rfind("swf\t", 0) == 0) {
+      std::istringstream in(text.substr(3));
+      std::string token;
+      text = "swf";
+      bool first = true;
+      while (in >> token) {
+        text += (first ? ':' : ',');
+        text += token;
+        first = false;
+      }
+    }
+    std::optional<workload::TraceSpec> parsed = workload::TraceSpec::parse(text, error);
     if (!parsed) return false;
     traces.push_back(std::move(*parsed));
     return true;
@@ -170,6 +185,16 @@ bool ScenarioSpec::apply_line(const std::string& raw, std::string* error) {
     faults.push_back(entry);
     return true;
   }
+  if (directive == "stream") {
+    if (arg == "on") {
+      stream = true;
+    } else if (arg == "off") {
+      stream = false;
+    } else {
+      return fail(error, "stream '" + arg + "' unknown (expected on or off)");
+    }
+    return true;
+  }
   if (directive == "trials") {
     long value = 0;
     if (!parse_positive_int(arg, &value)) {
@@ -266,6 +291,18 @@ std::optional<ScenarioSpec> ScenarioSpec::load(const std::string& path, std::str
     fail(error, path + ": " + nested);
     return std::nullopt;
   }
+  // Rebase relative SWF paths against the scenario file's directory, so a
+  // checked-in scenario works regardless of the process's working directory
+  // (ctest runs from the build tree, CI from the repo root).
+  const std::size_t slash = path.find_last_of("/\\");
+  if (slash != std::string::npos) {
+    const std::string dir = path.substr(0, slash + 1);
+    for (workload::TraceSpec& trace : spec->traces) {
+      if (trace.is_swf() && !trace.swf_file.empty() && trace.swf_file.front() != '/') {
+        trace.swf_file = dir + trace.swf_file;
+      }
+    }
+  }
   return spec;
 }
 
@@ -319,14 +356,33 @@ std::optional<SweepGrid> to_grid(const ScenarioSpec& spec, std::string* error) {
   grid.experiment.max_sim_time = spec.max_sim_time;
   grid.experiment.fault_entries = spec.faults;
 
+  // SWF logs are read per cell (or materialized below); validate each one
+  // end to end here so an unreadable or malformed file surfaces as one clean
+  // error before any cell runs — a streamed source throwing mid-pump on a
+  // worker thread would otherwise tear down the whole sweep.
+  for (const workload::TraceSpec& trace : spec.traces) {
+    if (!trace.is_swf()) continue;
+    try {
+      std::unique_ptr<workload::ArrivalSource> probe =
+          trace.make_source(static_cast<std::uint32_t>(spec.nodes));
+      while (probe->next()) {
+      }
+    } catch (const std::exception& e) {
+      fail(error, "trace spec '" + trace.print() + "': " + e.what());
+      return std::nullopt;
+    }
+  }
+
   // Trial expansion on the trace axis, trial-major. Trial 0 is the trace
   // exactly as specified (byte-identical to a trial-free run); trial t > 0
-  // regenerates it with the effective seed shifted by t.
+  // regenerates it with the effective seed shifted by t. SWF replays have no
+  // generation seed, so every trial replays the same log (trial variation
+  // still reaches the cluster seed via derive_seed).
   const std::uint32_t default_nodes = static_cast<std::uint32_t>(spec.nodes);
   for (int trial = 0; trial < spec.trials; ++trial) {
     for (const workload::TraceSpec& base : spec.traces) {
       workload::TraceSpec varied = base;
-      if (trial > 0) {
+      if (trial > 0 && !varied.is_swf()) {
         std::uint64_t effective = varied.seed;
         if (effective == 0) {
           effective = varied.standard_index > 0
@@ -335,7 +391,18 @@ std::optional<SweepGrid> to_grid(const ScenarioSpec& spec, std::string* error) {
         }
         varied.seed = effective + static_cast<std::uint64_t>(trial);
       }
-      grid.traces.push_back(varied.build(default_nodes));
+      if (spec.stream) {
+        grid.traces.push_back(SweepTrace::streaming(std::move(varied), default_nodes));
+      } else {
+        try {
+          grid.traces.push_back(SweepTrace(varied.build(default_nodes)));
+        } catch (const std::exception& e) {
+          // A malformed SWF body (the open check above only covers
+          // readability) surfaces as a recoverable error, not a throw.
+          fail(error, "trace spec '" + varied.print() + "': " + e.what());
+          return std::nullopt;
+        }
+      }
     }
   }
   return grid;

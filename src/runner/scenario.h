@@ -51,6 +51,12 @@ struct ScenarioSpec {
   /// applied identically to every cell; the stochastic generator is
   /// configured separately via `set fault.mtbf=...` (DESIGN.md §10).
   std::vector<faults::FaultEntry> faults;
+  /// Streaming mode (`stream on`): every cell pumps its workload through a
+  /// pull-based ArrivalSource (Cluster::submit_source) instead of
+  /// materializing the whole trace up front. Generated workloads produce
+  /// fingerprint-identical results either way (the streamed source replays
+  /// the identical RNG stream); memory stays O(concurrent jobs) per cell.
+  bool stream = false;
   /// Independent repetitions. Trial 0 runs each trace exactly as specified;
   /// trial t > 0 regenerates it with its effective seed shifted by t.
   int trials = 1;

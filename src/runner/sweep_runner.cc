@@ -18,6 +18,29 @@ std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t cell_key) {
   return splitmix64(splitmix64(base_seed) ^ splitmix64(cell_key + 0x51ed270b0f4a92c5ULL));
 }
 
+SweepTrace SweepTrace::streaming(workload::TraceSpec spec, std::uint32_t default_nodes) {
+  SweepTrace entry;
+  entry.spec = std::move(spec);
+  entry.stream = true;
+  entry.default_nodes = default_nodes;
+  return entry;
+}
+
+std::string SweepTrace::name() const {
+  if (!stream || !spec) return trace.name();
+  if (spec->is_swf()) {
+    if (!spec->name.empty()) return spec->name;
+    // Mirror SwfTraceSource's file-stem naming without opening the file.
+    const std::string& path = spec->swf_file;
+    const std::size_t slash = path.find_last_of("/\\");
+    std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t dot = base.rfind('.');
+    if (dot != std::string::npos && dot > 0) base.erase(dot);
+    return base;
+  }
+  return spec->to_params(default_nodes).name;
+}
+
 void SweepSummary::absorb(const metrics::RunReport& report) {
   execution.add(report.total_execution);
   queue.add(report.total_queue);
@@ -66,9 +89,18 @@ std::vector<CellResult> SweepRunner::run(const SweepGrid& grid) {
     cell.seed = config.seed;
 
     // Specs were validated before dispatch, so creation cannot fail here.
-    cell.report = *core::run_policy_on_trace(grid.policies[cell.policy_index],
-                                             grid.traces[cell.trace_index], config,
-                                             grid.experiment);
+    const SweepTrace& workload = grid.traces[cell.trace_index];
+    if (workload.stream && workload.spec) {
+      // Sources are stateful single-pass iterators: build a fresh one for
+      // this cell (another worker may be streaming the same spec right now).
+      std::unique_ptr<workload::ArrivalSource> source =
+          workload.spec->make_source(workload.default_nodes);
+      cell.report = *core::run_policy_on_source(grid.policies[cell.policy_index], *source,
+                                                config, grid.experiment);
+    } else {
+      cell.report = *core::run_policy_on_trace(grid.policies[cell.policy_index], workload.trace,
+                                               config, grid.experiment);
+    }
   });
   return results;
 }

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/experiment.h"
@@ -25,6 +26,7 @@
 #include "runner/thread_pool.h"
 #include "sim/stats.h"
 #include "workload/trace.h"
+#include "workload/trace_spec.h"
 
 namespace vrc::runner {
 
@@ -36,12 +38,36 @@ std::uint64_t splitmix64(std::uint64_t x);
 /// on thread count or completion order.
 std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t cell_key);
 
+/// One workload axis entry: either a materialized Trace (the classic path —
+/// the implicit constructor keeps `grid.traces = {trace1, trace2}` call
+/// sites working) or a streaming TraceSpec. Streaming entries build a fresh
+/// ArrivalSource per cell (sources are stateful single-pass iterators, so
+/// cells on different workers cannot share one) and run through
+/// core::run_policy_on_source — live JobSpec storage stays O(concurrent
+/// jobs) per cell instead of O(trace length) (DESIGN.md §14).
+struct SweepTrace {
+  workload::Trace trace;                    // used when !stream
+  std::optional<workload::TraceSpec> spec;  // recipe for per-cell sources
+  bool stream = false;
+  std::uint32_t default_nodes = 32;  // node range handed to make_source
+
+  SweepTrace() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): Trace -> SweepTrace compat
+  SweepTrace(workload::Trace materialized) : trace(std::move(materialized)) {}
+
+  /// Streaming entry: the trace is built per cell from `spec`.
+  static SweepTrace streaming(workload::TraceSpec spec, std::uint32_t default_nodes);
+
+  /// Workload label for reports (the trace's name on both paths).
+  std::string name() const;
+};
+
 /// The cross product a sweep evaluates. Cells are enumerated row-major as
 /// (trace, config, policy), policy fastest. Policies are registry specs
 /// (core::PolicySpec), so any registered policy with any param overrides can
 /// ride a sweep; core::to_spec() converts a legacy PolicyKind.
 struct SweepGrid {
-  std::vector<workload::Trace> traces;
+  std::vector<SweepTrace> traces;
   std::vector<cluster::ClusterConfig> configs;
   std::vector<core::PolicySpec> policies;
   core::ExperimentOptions experiment;

@@ -1,0 +1,100 @@
+#include "workload/arrival_source.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "workload/catalog.h"
+
+namespace vrc::workload {
+
+std::optional<SimTime> MaterializedTraceSource::peek_time() {
+  if (next_index_ >= trace_.size()) return std::nullopt;
+  return trace_.jobs()[next_index_].submit_time;
+}
+
+std::optional<JobSpec> MaterializedTraceSource::next() {
+  if (next_index_ >= trace_.size()) return std::nullopt;
+  return trace_.jobs()[next_index_++];
+}
+
+GeneratedStreamSource::GeneratedStreamSource(TraceParams params) : params_(std::move(params)) {
+  // Mirror generate_trace exactly: same fork order, same per-stream draw
+  // order, so job i here is bit-identical to trace.jobs()[i] there.
+  const std::vector<ProgramSpec>& programs = catalog(params_.group);
+  if (!params_.program_weights.empty() && params_.program_weights.size() != programs.size()) {
+    std::fprintf(stderr, "GeneratedStreamSource: %zu weights for %zu programs\n",
+                 params_.program_weights.size(), programs.size());
+    std::abort();
+  }
+
+  sim::Rng rng(params_.seed);
+  sim::Rng arrival_rng = rng.fork();
+  pick_rng_ = rng.fork();
+  jitter_rng_ = rng.fork();
+  node_rng_ = rng.fork();
+
+  arrivals_.resize(params_.num_jobs);
+  for (SimTime& t : arrivals_) {
+    t = params_.time_scale * sample_truncated_lognormal(arrival_rng, params_.mu, params_.sigma,
+                                                        params_.duration / params_.time_scale);
+  }
+  std::sort(arrivals_.begin(), arrivals_.end());
+
+  weights_ = params_.program_weights;
+  if (weights_.empty()) {
+    weights_.reserve(programs.size());
+    for (const ProgramSpec& p : programs) weights_.push_back(p.mix_weight);
+  }
+  total_weight_ = std::accumulate(weights_.begin(), weights_.end(), 0.0);
+}
+
+std::optional<SimTime> GeneratedStreamSource::peek_time() {
+  if (next_index_ >= arrivals_.size()) return std::nullopt;
+  return arrivals_[next_index_];
+}
+
+std::optional<JobSpec> GeneratedStreamSource::next() {
+  if (next_index_ >= arrivals_.size()) return std::nullopt;
+  const std::vector<ProgramSpec>& programs = catalog(params_.group);
+  const std::size_t i = next_index_++;
+
+  // generate_trace's pick_program, verbatim.
+  const ProgramSpec* program = &programs.back();
+  double target = pick_rng_.uniform() * total_weight_;
+  for (std::size_t p = 0; p < programs.size(); ++p) {
+    target -= weights_[p];
+    if (target <= 0.0) {
+      program = &programs[p];
+      break;
+    }
+  }
+
+  JobSpec job;
+  job.id = static_cast<JobId>(i + 1);
+  job.program = program->name;
+  job.submit_time = arrivals_[i];
+  job.home_node = static_cast<NodeId>(node_rng_.uniform_index(params_.num_nodes));
+  const double life_jitter =
+      jitter_rng_.uniform(1.0 - params_.lifetime_jitter, 1.0 + params_.lifetime_jitter);
+  const double ws_jitter =
+      jitter_rng_.uniform(1.0 - params_.working_set_jitter, 1.0 + params_.working_set_jitter);
+  job.cpu_seconds = program->lifetime * life_jitter;
+  job.touch_rate = program->touch_rate;
+  job.memory = program->profile().scaled(ws_jitter);
+  return job;
+}
+
+Trace materialize(ArrivalSource& source, SimTime duration) {
+  std::vector<JobSpec> jobs;
+  if (std::optional<std::size_t> total = source.total_jobs()) jobs.reserve(*total);
+  SimTime last = 0.0;
+  while (std::optional<JobSpec> job = source.next()) {
+    last = std::max(last, job->submit_time);
+    jobs.push_back(std::move(*job));
+  }
+  return Trace(source.name(), source.group(), duration > 0.0 ? duration : last, std::move(jobs));
+}
+
+}  // namespace vrc::workload

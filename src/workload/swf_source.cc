@@ -1,0 +1,131 @@
+#include "workload/swf_source.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vrc::workload {
+
+namespace {
+
+std::string stem_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of("/\\");
+  std::string base = slash == std::string::npos ? path : path.substr(slash + 1);
+  const std::size_t dot = base.rfind('.');
+  if (dot != std::string::npos && dot > 0) base.erase(dot);
+  return base;
+}
+
+[[noreturn]] void fail(const std::string& name, std::size_t line, const std::string& message) {
+  throw std::runtime_error("SwfTraceSource(" + name + "): line " + std::to_string(line) + ": " +
+                           message);
+}
+
+}  // namespace
+
+SwfTraceSource::SwfTraceSource(const std::string& path, SwfOptions options)
+    : name_(options.name.empty() ? stem_of(path) : options.name), options_(options) {
+  auto file = std::make_unique<std::ifstream>(path);
+  if (!*file) throw std::runtime_error("SwfTraceSource: cannot open " + path);
+  stream_ = std::move(file);
+  advance();
+}
+
+SwfTraceSource::SwfTraceSource(std::string name, std::istringstream body, SwfOptions options)
+    : name_(std::move(name)),
+      options_(options),
+      stream_(std::make_unique<std::istringstream>(std::move(body))) {
+  advance();
+}
+
+std::optional<SimTime> SwfTraceSource::peek_time() {
+  if (!lookahead_) return std::nullopt;
+  return lookahead_->submit_time;
+}
+
+std::optional<JobSpec> SwfTraceSource::next() {
+  if (!lookahead_) return std::nullopt;
+  std::optional<JobSpec> job = std::move(lookahead_);
+  lookahead_.reset();
+  advance();
+  return job;
+}
+
+void SwfTraceSource::advance() {
+  if (exhausted_) return;
+  if (options_.max_jobs != 0 && accepted_ >= options_.max_jobs) {
+    exhausted_ = true;
+    return;
+  }
+
+  std::string line;
+  while (std::getline(*stream_, line)) {
+    ++line_number_;
+    // Header and inline comments use ';' in SWF.
+    const std::size_t semi = line.find(';');
+    if (semi != std::string::npos) line.erase(semi);
+    std::istringstream fields(line);
+
+    // Fields 1..11 are required; 12..18 are optional trailing context that
+    // this model does not consume (executable number excepted).
+    double raw[11] = {};
+    int got = 0;
+    while (got < 11 && fields >> raw[got]) ++got;
+    if (got == 0) continue;  // blank / comment-only line
+    if (got < 11) {
+      fail(name_, line_number_,
+           "expected at least 11 SWF fields, found " + std::to_string(got));
+    }
+    for (int i = 0; i < 11; ++i) {
+      if (!std::isfinite(raw[i])) fail(name_, line_number_, "non-finite field value");
+    }
+    double executable = -1.0;
+    // Skip fields 12 (user) and 13 (group), read 14 (executable) if present.
+    double skip_field = 0.0;
+    if (fields >> skip_field && fields >> skip_field) {
+      if (!(fields >> executable)) executable = -1.0;
+    }
+
+    const double submit = raw[1];
+    const double run_time = raw[3];
+    const double alloc_procs = raw[4];
+    const double mem_kb_per_proc = raw[6];
+    const double req_procs = raw[7];
+    const int status = static_cast<int>(raw[10]);
+
+    if (submit < 0.0) fail(name_, line_number_, "negative submit time");
+
+    // Tolerated skips: cancelled jobs and jobs that never accumulated
+    // runtime carry no load; sub-min_runtime jobs are filtered by request.
+    if (status == 5 || run_time <= 0.0 || run_time < options_.min_runtime) {
+      ++skipped_;
+      continue;
+    }
+
+    double procs = alloc_procs > 0.0 ? alloc_procs : (req_procs > 0.0 ? req_procs : 1.0);
+
+    JobSpec job;
+    ++accepted_;
+    job.id = static_cast<JobId>(accepted_);
+    job.program =
+        executable >= 0.0 ? "swf-app-" + std::to_string(static_cast<long>(executable)) : "swf";
+    // Nondecreasing clamp: a submit time that runs backwards (merged logs)
+    // is pinned to the previous arrival instead of rejected.
+    job.submit_time = std::max(submit * options_.scale, last_submit_);
+    last_submit_ = job.submit_time;
+    job.home_node =
+        static_cast<NodeId>(static_cast<std::uint64_t>(std::max(raw[0], 0.0)) %
+                            std::max<std::uint32_t>(options_.num_nodes, 1));
+    job.cpu_seconds = run_time;
+    job.touch_rate = 0.0;  // archive logs carry no paging signal
+    const Bytes per_cpu = mem_kb_per_proc > 0.0
+                              ? static_cast<Bytes>(mem_kb_per_proc * 1024.0)
+                              : options_.default_mem_per_cpu;
+    job.memory = MemoryProfile::constant(per_cpu * static_cast<Bytes>(procs));
+    lookahead_ = std::move(job);
+    return;
+  }
+  exhausted_ = true;
+}
+
+}  // namespace vrc::workload

@@ -1,6 +1,7 @@
 #include "workload/trace.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -78,21 +79,48 @@ Trace Trace::load(std::istream& in) {
       if (!parse_workload_group(text, &group)) fail("bad group '" + text + "'");
       have_group = true;
     } else if (key == "duration") {
-      if (!(ls >> duration)) fail("bad duration");
+      if (!(ls >> duration) || !std::isfinite(duration) || duration < 0.0) fail("bad duration");
     } else if (key == "jobs") {
-      if (!(ls >> expected_jobs)) fail("bad job count");
+      // Parse signed: `>>` into an unsigned type accepts "-3" by modular
+      // wrap, which would turn a typo into a 2^64-scale job count.
+      long long count = -1;
+      if (!(ls >> count) || count < 0) fail("bad job count");
+      expected_jobs = static_cast<std::size_t>(count);
     } else if (key == "job") {
       JobSpec job;
-      std::size_t npoints = 0;
-      if (!(ls >> job.id >> job.submit_time >> job.home_node >> job.program >> job.cpu_seconds >>
+      long long id = -1;
+      long long home = -1;
+      long long npoints = -1;
+      if (!(ls >> id >> job.submit_time >> home >> job.program >> job.cpu_seconds >>
             job.touch_rate >> npoints)) {
         fail("malformed job line: " + line);
       }
-      if (npoints == 0 || npoints > 1024) fail("bad profile point count");
-      std::vector<MemoryProfile::Point> points(npoints);
-      for (auto& p : points) {
-        if (!(ls >> p.progress >> p.demand)) fail("malformed profile point");
+      if (id < 0) fail("negative job id: " + line);
+      if (home < 0) fail("negative home node: " + line);
+      if (!std::isfinite(job.submit_time) || job.submit_time < 0.0) {
+        fail("bad submit time: " + line);
       }
+      if (!std::isfinite(job.cpu_seconds) || job.cpu_seconds < 0.0) {
+        fail("bad cpu seconds: " + line);
+      }
+      if (!std::isfinite(job.touch_rate) || job.touch_rate < 0.0) {
+        fail("bad touch rate: " + line);
+      }
+      job.id = static_cast<JobId>(id);
+      job.home_node = static_cast<NodeId>(home);
+      if (npoints <= 0 || npoints > 1024) fail("bad profile point count");
+      std::vector<MemoryProfile::Point> points(static_cast<std::size_t>(npoints));
+      for (auto& p : points) {
+        long long demand = -1;
+        if (!(ls >> p.progress >> demand)) fail("malformed profile point");
+        if (!std::isfinite(p.progress) || p.progress < 0.0 || p.progress > 1.0) {
+          fail("profile progress out of [0, 1]: " + line);
+        }
+        if (demand < 0) fail("negative profile demand: " + line);
+        p.demand = static_cast<Bytes>(demand);
+      }
+      std::string extra;
+      if (ls >> extra) fail("trailing data on job line: " + line);
       job.memory = MemoryProfile::phased(std::move(points));
       jobs.push_back(std::move(job));
     } else {

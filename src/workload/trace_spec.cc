@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "workload/swf_source.h"
+
 namespace vrc::workload {
 
 TraceSpec TraceSpec::standard(WorkloadGroup group, int index) {
@@ -14,8 +16,32 @@ TraceSpec TraceSpec::standard(WorkloadGroup group, int index) {
   return spec;
 }
 
+TraceSpec TraceSpec::swf(std::string file) {
+  TraceSpec spec;
+  spec.swf_file = std::move(file);
+  return spec;
+}
+
 std::string TraceSpec::print() const {
   std::ostringstream out;
+  if (is_swf()) {
+    out << "swf:file=" << swf_file;
+    if (swf_scale != 1.0) {
+      std::ostringstream scale;
+      scale << swf_scale;
+      out << ",scale=" << scale.str();
+    }
+    if (swf_max_jobs > 0) out << ",max_jobs=" << swf_max_jobs;
+    if (swf_min_runtime > 0.0) {
+      std::ostringstream min_rt;
+      min_rt << swf_min_runtime;
+      out << ",min_runtime=" << min_rt.str();
+    }
+    if (group != WorkloadGroup::kSpec) out << ",group=" << to_string(group);
+    if (num_nodes != 0) out << ",nodes=" << num_nodes;
+    if (!name.empty()) out << ",name=" << name;
+    return out.str();
+  }
   out << to_string(group);
   // Canonical key order; only non-default fields are emitted.
   std::vector<std::pair<std::string, std::string>> items;
@@ -82,9 +108,74 @@ std::optional<TraceSpec> TraceSpec::parse(const std::string& text, std::string* 
   const std::size_t colon = text.find(':');
   const std::string group_name = text.substr(0, colon);
   TraceSpec spec;
+  if (group_name == "swf") {
+    std::map<std::string, std::string> params;
+    if (colon != std::string::npos) {
+      if (!parse_key_values(text.substr(colon + 1), text, &params, error)) return std::nullopt;
+    }
+    for (const auto& [key, value] : params) {
+      errno = 0;
+      char* end = nullptr;
+      if (key == "file") {
+        if (value.empty()) {
+          value_error(error, text, key, value, "path", "tests/data/swf/NASA-iPSC-1993-3.swf");
+          return std::nullopt;
+        }
+        spec.swf_file = value;
+      } else if (key == "scale") {
+        const double scale = std::strtod(value.c_str(), &end);
+        if (value.empty() || end == value.c_str() || *end != '\0' || scale <= 0.0) {
+          value_error(error, text, key, value, "positive double", "0.1");
+          return std::nullopt;
+        }
+        spec.swf_scale = scale;
+      } else if (key == "max_jobs") {
+        const long max_jobs = std::strtol(value.c_str(), &end, 10);
+        if (value.empty() || end == value.c_str() || *end != '\0' || max_jobs <= 0) {
+          value_error(error, text, key, value, "positive int", "200");
+          return std::nullopt;
+        }
+        spec.swf_max_jobs = static_cast<std::size_t>(max_jobs);
+      } else if (key == "min_runtime") {
+        if (!parse_duration(value, &spec.swf_min_runtime) || spec.swf_min_runtime < 0.0) {
+          value_error(error, text, key, value, "non-negative duration", "10");
+          return std::nullopt;
+        }
+      } else if (key == "group") {
+        if (!parse_workload_group(value, &spec.group)) {
+          value_error(error, text, key, value, "spec or apps", "apps");
+          return std::nullopt;
+        }
+      } else if (key == "nodes") {
+        const long nodes = std::strtol(value.c_str(), &end, 10);
+        if (value.empty() || end == value.c_str() || *end != '\0' || nodes <= 0) {
+          value_error(error, text, key, value, "positive int", "32");
+          return std::nullopt;
+        }
+        spec.num_nodes = static_cast<std::uint32_t>(nodes);
+      } else if (key == "name") {
+        if (value.empty()) {
+          value_error(error, text, key, value, "non-empty string", "nasa-replay");
+          return std::nullopt;
+        }
+        spec.name = value;
+      } else {
+        fail(error, "trace spec '" + text + "': unknown key '" + key +
+                        "' (known swf keys: file, scale, max_jobs, min_runtime, group, nodes, "
+                        "name)");
+        return std::nullopt;
+      }
+    }
+    std::string semantic;
+    if (!spec.validate(&semantic)) {
+      fail(error, "trace spec '" + text + "': " + semantic);
+      return std::nullopt;
+    }
+    return spec;
+  }
   if (!parse_workload_group(group_name, &spec.group)) {
     fail(error, "trace spec '" + text + "': unknown workload group '" + group_name +
-                    "' (expected spec or apps)");
+                    "' (expected spec, apps, or swf)");
     return std::nullopt;
   }
   std::map<std::string, std::string> params;
@@ -157,6 +248,17 @@ std::optional<TraceSpec> TraceSpec::parse(const std::string& text, std::string* 
 }
 
 bool TraceSpec::validate(std::string* error) const {
+  if (is_swf()) {
+    if (standard_index != 0 || num_jobs != 0) {
+      return fail(error, "an swf spec cannot also set trace= or jobs=");
+    }
+    if (swf_scale <= 0.0) return fail(error, "swf scale must be > 0");
+    if (swf_min_runtime < 0.0) return fail(error, "swf min_runtime must be >= 0");
+    return true;
+  }
+  if (swf_scale != 1.0 || swf_max_jobs != 0 || swf_min_runtime != 0.0) {
+    return fail(error, "swf options need the swf group (swf:file=...)");
+  }
   if (standard_index != 0 && num_jobs != 0) {
     return fail(error, "trace= and jobs= are mutually exclusive");
   }
@@ -170,13 +272,23 @@ bool TraceSpec::validate(std::string* error) const {
   return true;
 }
 
-Trace TraceSpec::build(std::uint32_t default_nodes) const {
-  const std::uint32_t nodes = num_nodes != 0 ? num_nodes : default_nodes;
-  if (standard_index > 0 && seed == 0 && arrival_scale == 1.0 && name.empty()) {
-    // The exact enum-era path: byte-identical standard traces.
-    return standard_trace(group, standard_index, nodes);
-  }
+namespace {
 
+SwfOptions swf_options_of(const TraceSpec& spec, std::uint32_t default_nodes) {
+  SwfOptions options;
+  options.scale = spec.swf_scale;
+  options.max_jobs = spec.swf_max_jobs;
+  options.min_runtime = spec.swf_min_runtime;
+  options.num_nodes = spec.num_nodes != 0 ? spec.num_nodes : default_nodes;
+  options.group = spec.group;
+  options.name = spec.name;
+  return options;
+}
+
+}  // namespace
+
+TraceParams TraceSpec::to_params(std::uint32_t default_nodes) const {
+  const std::uint32_t nodes = num_nodes != 0 ? num_nodes : default_nodes;
   TraceParams params;
   params.group = group;
   params.num_nodes = nodes;
@@ -201,7 +313,31 @@ Trace TraceSpec::build(std::uint32_t default_nodes) const {
     params.name = !name.empty() ? name : "generated";
     params.seed = seed != 0 ? seed : 1;
   }
-  return generate_trace(params);
+  return params;
+}
+
+Trace TraceSpec::build(std::uint32_t default_nodes) const {
+  if (is_swf()) {
+    SwfTraceSource source(swf_file, swf_options_of(*this, default_nodes));
+    return materialize(source);
+  }
+  const std::uint32_t nodes = num_nodes != 0 ? num_nodes : default_nodes;
+  if (standard_index > 0 && seed == 0 && arrival_scale == 1.0 && name.empty()) {
+    // The exact enum-era path: byte-identical standard traces.
+    return standard_trace(group, standard_index, nodes);
+  }
+  return generate_trace(to_params(default_nodes));
+}
+
+std::unique_ptr<ArrivalSource> TraceSpec::make_source(std::uint32_t default_nodes) const {
+  if (is_swf()) {
+    return std::make_unique<SwfTraceSource>(swf_file, swf_options_of(*this, default_nodes));
+  }
+  // GeneratedStreamSource replays generate_trace's RNG stream job-for-job, so
+  // this source and build() above are fingerprint-interchangeable (including
+  // the standard-trace fast path, which is generate_trace on the published
+  // shape params to_params() reproduces).
+  return std::make_unique<GeneratedStreamSource>(to_params(default_nodes));
 }
 
 }  // namespace vrc::workload

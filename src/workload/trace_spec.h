@@ -1,17 +1,23 @@
 // Declarative trace description: the workload third of a scenario spec.
 //
-// A TraceSpec names either one of the paper's five published trace shapes
-// ("spec:trace=3") or a custom generated workload
-// ("apps:jobs=400,duration=1800,seed=9,arrival_scale=1.5") as text, and
-// builds the corresponding Trace. A spec that names a standard trace with no
-// overrides builds the byte-identical trace the enum-era
-// standard_trace(group, index) call produced.
+// A TraceSpec names one of the paper's five published trace shapes
+// ("spec:trace=3"), a custom generated workload
+// ("apps:jobs=400,duration=1800,seed=9,arrival_scale=1.5"), or a real
+// Standard Workload Format log replay
+// ("swf:file=tests/data/swf/NASA-iPSC-1993-3.swf,scale=0.1,max_jobs=200")
+// as text, and builds the corresponding Trace — or, via make_source(), the
+// equivalent pull-based ArrivalSource for streaming runs (DESIGN.md §14).
+// A spec that names a standard trace with no overrides builds the
+// byte-identical trace the enum-era standard_trace(group, index) call
+// produced, and its streamed source replays the identical RNG stream.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
+#include "workload/arrival_source.h"
 #include "workload/trace.h"
 #include "workload/trace_generator.h"
 
@@ -19,7 +25,8 @@ namespace vrc::workload {
 
 /// Text-describable recipe for one trace.
 ///
-/// Text form: `<group>[:key=value,...]` with group `spec` or `apps` and keys
+/// Text form: `<group>[:key=value,...]` with group `spec`, `apps`, or `swf`.
+/// Keys for `spec` / `apps` (generated workloads):
 ///   trace          int 1..5: one of the published standard shapes
 ///   jobs           int: custom workload size (mutually exclusive with trace)
 ///   duration       duration: submission window of a custom workload
@@ -29,6 +36,16 @@ namespace vrc::workload {
 ///                  index) default for standard shapes)
 ///   nodes          int: home-node range; 0 = inherit the scenario's count
 ///   name           string: trace name override
+/// Keys for `swf` (Standard Workload Format replay; DESIGN.md §14):
+///   file           path to the .swf log (required; relative paths are
+///                  rebased against the scenario file by ScenarioSpec::load)
+///   scale          double > 0: multiplies every submit time (compresses or
+///                  stretches the log's arrival process)
+///   max_jobs       int: stop after this many accepted jobs (0 = all)
+///   min_runtime    duration: skip jobs shorter than this
+///   group          spec | apps: workload group the replay is billed to
+///                  (picks the paper testbed under `cluster auto`)
+///   nodes, name    as above
 struct TraceSpec {
   WorkloadGroup group = WorkloadGroup::kSpec;
   int standard_index = 0;      // 1..5 selects a published shape; 0 = custom
@@ -39,10 +56,22 @@ struct TraceSpec {
   std::uint32_t num_nodes = 0; // 0 = inherit from the caller
   std::string name;            // empty = derived name
 
+  // SWF replay (group token `swf`). A non-empty file selects SWF mode and is
+  // mutually exclusive with trace=/jobs=.
+  std::string swf_file;
+  double swf_scale = 1.0;
+  std::size_t swf_max_jobs = 0;
+  double swf_min_runtime = 0.0;
+
   bool operator==(const TraceSpec&) const = default;
 
   /// A published standard trace: group + index, everything else default.
   static TraceSpec standard(WorkloadGroup group, int index);
+
+  /// An SWF log replay.
+  static TraceSpec swf(std::string file);
+
+  bool is_swf() const { return !swf_file.empty(); }
 
   /// Canonical text form; parse(print(spec)) == spec.
   std::string print() const;
@@ -56,10 +85,23 @@ struct TraceSpec {
   /// validates).
   bool validate(std::string* error) const;
 
+  /// The generator parameters this spec describes (generated specs only; the
+  /// shared derivation behind build() and make_source(), so the streamed and
+  /// materialized paths cannot drift apart).
+  TraceParams to_params(std::uint32_t default_nodes = 32) const;
+
   /// Builds the trace. `default_nodes` supplies the home-node range when the
   /// spec does not pin one. A standard-index spec with default seed, scale,
-  /// and name reproduces standard_trace(group, index, nodes) exactly.
+  /// and name reproduces standard_trace(group, index, nodes) exactly. SWF
+  /// specs read the log eagerly (throws std::runtime_error on a missing or
+  /// malformed file, like Trace::load).
   Trace build(std::uint32_t default_nodes = 32) const;
+
+  /// Builds the pull-based streaming equivalent of build(): a
+  /// GeneratedStreamSource for generated specs (identical RNG stream, so
+  /// streamed and materialized runs fingerprint-match) or an SwfTraceSource
+  /// for SWF specs. Throws std::runtime_error on an unreadable SWF file.
+  std::unique_ptr<ArrivalSource> make_source(std::uint32_t default_nodes = 32) const;
 };
 
 }  // namespace vrc::workload

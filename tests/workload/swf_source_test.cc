@@ -1,0 +1,170 @@
+#include "workload/swf_source.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "workload/trace_spec.h"
+
+namespace vrc::workload {
+namespace {
+
+// 18-field SWF lines: job submit wait run procs avg_cpu mem_kb req_procs
+// req_time req_mem status user group exe queue part prec think.
+constexpr const char* kSmallLog =
+    "; fabricated SWF body for unit tests\n"
+    "; Computer: test rig\n"
+    "1 0 5 100 2 90.0 2048 2 200 -1 1 3 1 7 1 1 -1 -1\n"
+    "2 10 0 -1 1 -1 -1 1 -1 -1 5 3 1 7 1 1 -1 -1\n"   // cancelled -> skipped
+    "3 20 0 0 1 -1 -1 1 -1 -1 1 3 1 7 1 1 -1 -1\n"    // never ran -> skipped
+    "4 30 2 50 4 40.0 -1 4 100 -1 1 4 2 9 1 1 -1 -1\n"  // missing memory
+    "5 25 0 400 1 390.0 1024 1 500 -1 1 4 2 9 1 1 -1 -1\n"  // out of order
+    "6 60 1 7 1 6.0 512 1 10 -1 0 4 2 11 1 1 -1 -1\n";  // failed but ran
+
+SwfTraceSource make_source(SwfOptions options = {}) {
+  return SwfTraceSource("unit", std::istringstream(kSmallLog), options);
+}
+
+TEST(SwfTraceSourceTest, ParsesAcceptsAndSkips) {
+  SwfTraceSource source = make_source();
+  std::vector<JobSpec> jobs;
+  while (std::optional<JobSpec> job = source.next()) jobs.push_back(std::move(*job));
+  // Jobs 2 (cancelled) and 3 (runtime 0) are skipped; 1, 4, 5, 6 accepted.
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(source.skipped(), 2u);
+
+  EXPECT_EQ(jobs[0].id, 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].submit_time, 0.0);
+  EXPECT_DOUBLE_EQ(jobs[0].cpu_seconds, 100.0);
+  EXPECT_EQ(jobs[0].program, "swf-app-7");
+  EXPECT_DOUBLE_EQ(jobs[0].touch_rate, 0.0);
+  EXPECT_EQ(jobs[0].memory.points().front().demand, Bytes{2048} * 1024 * 2);  // per-proc KB x2
+
+  // Job 4: missing memory falls back to default_mem_per_cpu x 4 procs.
+  EXPECT_EQ(jobs[1].memory.points().front().demand, SwfOptions{}.default_mem_per_cpu * 4);
+}
+
+TEST(SwfTraceSourceTest, OutOfOrderSubmitClampedNondecreasing) {
+  SwfTraceSource source = make_source();
+  SimTime last = -1.0;
+  while (std::optional<JobSpec> job = source.next()) {
+    EXPECT_GE(job->submit_time, last);
+    last = job->submit_time;
+  }
+  // Job 5 logs submit 25 after job 4's 30: clamped to 30.
+}
+
+TEST(SwfTraceSourceTest, ScaleCompressesArrivalsNotRuntimes) {
+  SwfOptions options;
+  options.scale = 0.5;
+  SwfTraceSource source = make_source(options);
+  std::vector<JobSpec> jobs;
+  while (std::optional<JobSpec> job = source.next()) jobs.push_back(std::move(*job));
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_DOUBLE_EQ(jobs[1].submit_time, 15.0);   // 30 * 0.5
+  EXPECT_DOUBLE_EQ(jobs[1].cpu_seconds, 50.0);   // runtime unscaled
+}
+
+TEST(SwfTraceSourceTest, MaxJobsStopsEarly) {
+  SwfOptions options;
+  options.max_jobs = 2;
+  SwfTraceSource source = make_source(options);
+  std::size_t count = 0;
+  while (source.next()) ++count;
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(SwfTraceSourceTest, MinRuntimeFilters) {
+  SwfOptions options;
+  options.min_runtime = 60.0;  // drops job 4 (50 s) and job 6 (7 s)
+  SwfTraceSource source = make_source(options);
+  std::size_t count = 0;
+  while (source.next()) ++count;
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(source.skipped(), 4u);
+}
+
+TEST(SwfTraceSourceTest, RejectsShortLineWithLineNumber) {
+  try {
+    // The constructor reads ahead one job, so the malformed line 2 throws
+    // here already — with its line number in the message.
+    SwfTraceSource source("bad", std::istringstream("; header\n1 0 5 100 2\n"));
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(SwfTraceSourceTest, RejectsNegativeSubmit) {
+  EXPECT_THROW(SwfTraceSource("bad", std::istringstream(
+                                         "1 -5 0 100 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n")),
+               std::runtime_error);
+}
+
+TEST(SwfTraceSourceTest, RejectsNonFiniteField) {
+  EXPECT_THROW(SwfTraceSource("bad", std::istringstream(
+                                         "1 0 0 nan 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n")),
+               std::runtime_error);
+}
+
+TEST(SwfTraceSourceTest, MissingFileThrows) {
+  EXPECT_THROW(SwfTraceSource("/nonexistent/file.swf"), std::runtime_error);
+}
+
+TEST(SwfTraceSourceTest, InlineCommentsAndBlankLinesSkipped) {
+  SwfTraceSource source(
+      "c", std::istringstream("\n; full comment\n"
+                              "1 0 0 100 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1 ; trailing\n\n"));
+  std::size_t count = 0;
+  while (source.next()) ++count;
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(SwfTraceSourceTest, StatusOnlyLineAccepted) {
+  // SWF guarantees 18 fields but tolerant readers accept truncation after
+  // field 11 (status); the executable number then defaults to "swf".
+  SwfTraceSource source("short", std::istringstream("1 0 0 100 1 -1 -1 1 -1 -1 1\n"));
+  std::optional<JobSpec> job = source.next();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->program, "swf");
+  EXPECT_FALSE(source.next().has_value());
+}
+
+TEST(SwfFixtureTest, CommittedExcerptsParse) {
+  const std::string dir = std::string(VRC_TEST_DATA_DIR) + "/swf/";
+  for (const char* file : {"NASA-iPSC-1993-3.swf", "SDSC-SP2-1998-4.swf"}) {
+    SwfTraceSource source(dir + file);
+    std::size_t count = 0;
+    SimTime last = -1.0;
+    while (std::optional<JobSpec> job = source.next()) {
+      ++count;
+      EXPECT_GE(job->submit_time, last) << file;
+      last = job->submit_time;
+      EXPECT_GT(job->cpu_seconds, 0.0) << file;
+      EXPECT_GT(job->memory.points().front().demand, 0u) << file;
+    }
+    EXPECT_GT(count, 300u) << file;
+    EXPECT_GT(source.skipped(), 0u) << file;
+  }
+}
+
+TEST(SwfFixtureTest, TraceSpecBuildsFromFixture) {
+  TraceSpec spec = TraceSpec::swf(std::string(VRC_TEST_DATA_DIR) + "/swf/NASA-iPSC-1993-3.swf");
+  spec.swf_scale = 0.1;
+  spec.swf_max_jobs = 50;
+  Trace trace = spec.build(32);
+  EXPECT_EQ(trace.name(), "NASA-iPSC-1993-3");
+  EXPECT_EQ(trace.size(), 50u);
+  // materialize() and the streamed source must agree job for job.
+  std::unique_ptr<ArrivalSource> source = spec.make_source(32);
+  for (const JobSpec& expected : trace.jobs()) {
+    std::optional<JobSpec> job = source->next();
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->id, expected.id);
+    EXPECT_DOUBLE_EQ(job->submit_time, expected.submit_time);
+  }
+}
+
+}  // namespace
+}  // namespace vrc::workload

@@ -84,6 +84,78 @@ TEST(TraceTest, LoadRejectsUnknownKey) {
   EXPECT_THROW(Trace::load(buffer), std::runtime_error);
 }
 
+TEST(TraceTest, LoadRejectsNegativeSubmitTime) {
+  std::stringstream buffer(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 1\n"
+      "job 1 -3.5 0 gcc 10 100 1 0.0 1000\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsNegativeJobId) {
+  // `>>` into the unsigned JobId would wrap -1 to 2^64-1; load must parse
+  // signed and reject instead.
+  std::stringstream buffer(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 1\n"
+      "job -1 0.0 0 gcc 10 100 1 0.0 1000\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsNegativeHomeNode) {
+  std::stringstream buffer(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 1\n"
+      "job 1 0.0 -2 gcc 10 100 1 0.0 1000\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsNegativeCpuSeconds) {
+  std::stringstream buffer(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 1\n"
+      "job 1 0.0 0 gcc -10 100 1 0.0 1000\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsNonFiniteNumerics) {
+  std::stringstream nan_submit(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 1\n"
+      "job 1 nan 0 gcc 10 100 1 0.0 1000\n");
+  EXPECT_THROW(Trace::load(nan_submit), std::runtime_error);
+  std::stringstream inf_duration("# vrc-trace v1\nname t\ngroup spec\nduration inf\njobs 0\n");
+  EXPECT_THROW(Trace::load(inf_duration), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsNegativeJobCountHeader) {
+  std::stringstream buffer("# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs -2\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsNegativeProfileDemand) {
+  std::stringstream buffer(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 1\n"
+      "job 1 0.0 0 gcc 10 100 1 0.0 -1000\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsProfileProgressOutOfRange) {
+  std::stringstream buffer(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 1\n"
+      "job 1 0.0 0 gcc 10 100 1 1.5 1000\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsTruncatedProfilePoint) {
+  std::stringstream buffer(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 1\n"
+      "job 1 0.0 0 gcc 10 100 2 0.0 1000 0.5\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
+TEST(TraceTest, LoadRejectsTrailingGarbageOnJobLine) {
+  std::stringstream buffer(
+      "# vrc-trace v1\nname t\ngroup spec\nduration 10\njobs 1\n"
+      "job 1 0.0 0 gcc 10 100 1 0.0 1000 surprise\n");
+  EXPECT_THROW(Trace::load(buffer), std::runtime_error);
+}
+
 TEST(TraceTest, LoadSkipsCommentsAndBlankLines) {
   std::stringstream buffer(
       "# vrc-trace v1\n\n# a comment\nname t\ngroup spec\nduration 10\njobs 0\n");
