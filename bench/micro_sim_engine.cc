@@ -347,6 +347,85 @@ void BM_SwfParse(benchmark::State& state) {
 }
 BENCHMARK(BM_SwfParse);
 
+// Width-reconfiguration mechanics in isolation: one node, one everlasting
+// malleable job, alternating shrink/grow cycles through Cluster::resize_job
+// (DESIGN.md §15). Each cycle pays the resize event, the slot re-accounting,
+// and the indexed republish; items/s is resize cycles per second. Guards the
+// resize path against accidental O(jobs) or O(nodes) work.
+void BM_MalleableResize(benchmark::State& state) {
+  using namespace vrc;
+  auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 1);
+  sim::Simulator sim;
+  core::LocalOnly policy;
+  cluster::Cluster cluster(sim, config, policy);
+  workload::JobSpec spec;
+  spec.id = 1;
+  spec.program = "everlasting-malleable";
+  spec.submit_time = 0.0;
+  spec.home_node = 0;
+  spec.cpu_seconds = 1e15;  // never completes: the resize target stays live
+  spec.touch_rate = 0.0;
+  spec.memory = workload::MemoryProfile::constant(megabytes(50));
+  spec.malleability.min_width = 1;
+  spec.malleability.max_width = 4;
+  cluster.submit_job(spec);
+  sim.run_until(1.0);  // placement settles at width 4
+
+  SimTime deadline = 1.0;
+  int width = 1;
+  for (auto _ : state) {
+    if (!cluster.resize_job(0, 1, width)) {
+      state.SkipWithError("resize refused");
+      break;
+    }
+    deadline += 5.0;  // covers the resize pause (fixed 0.5 s + 0.25 s/slot)
+    sim.run_until(deadline);
+    width = width == 1 ? 4 : 1;
+  }
+  if (cluster.resizes_completed() <
+      static_cast<std::uint64_t>(state.iterations())) {
+    state.SkipWithError("resizes did not complete");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MalleableResize);
+
+// Malleable-vs-rigid end-to-end pair: the identical generated shape on a
+// slot-tight 4-node cluster, Arg(0) rigid under G-Loadsharing, Arg(1)
+// all-malleable (widths [1, 2]) under M-Reconfiguration. The Arg(1)/Arg(0)
+// delta prices the whole third axis — wide-job tick arithmetic, shrink
+// waves, regrow scans, and resize completions — on a run where the levers
+// actually fire.
+void BM_MalleableEndToEnd(benchmark::State& state) {
+  using namespace vrc;
+  const bool malleable = state.range(0) != 0;
+  workload::TraceSpec spec;
+  spec.group = workload::WorkloadGroup::kSpec;
+  spec.num_jobs = 80;
+  spec.duration = 400.0;
+  spec.seed = 5;
+  if (malleable) spec.malleable_fraction = 1.0;
+  const workload::Trace trace = spec.build(4);
+  const auto config = core::paper_cluster_for(workload::WorkloadGroup::kSpec, 4);
+  const core::PolicySpec policy(malleable ? "m-reconfiguration" : "g-loadsharing");
+
+  std::uint64_t jobs_done = 0;
+  for (auto _ : state) {
+    auto report = core::run_policy_on_trace(policy, trace, config);
+    if (!report || report->jobs_completed != report->jobs_submitted) {
+      state.SkipWithError("run did not drain");
+      break;
+    }
+    jobs_done += report->jobs_completed;
+  }
+  benchmark::DoNotOptimize(jobs_done);
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs_done));
+}
+BENCHMARK(BM_MalleableEndToEnd)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 // Streamed end-to-end run: the standard trace-3 shape (578 SPEC jobs,
 // ~3581 s, 32 nodes) driven through Cluster::submit_source with a
 // GeneratedStreamSource instead of a materialized Trace. Arg(0) runs the

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   int jobs = 0;
   bool csv = false;
   bool stream = false;
+  bool malleable = false;
   bool perf_counters = false;
   bool list_policies = false;
   bool list_overrides = false;
@@ -83,6 +84,9 @@ int main(int argc, char** argv) {
   flags.add_bool("stream", &stream,
                  "pump workloads through a pull-based arrival source instead of materializing "
                  "whole traces (same results for generated workloads, O(concurrent) memory)");
+  flags.add_bool("malleable", &malleable,
+                 "generate malleable jobs (width [1,2], fraction 1) in traces without their own "
+                 "malleable= fraction, and print resize columns");
   flags.add_bool("perf-counters", &perf_counters,
                  "collect engine perf counters across all runs and print them to stderr");
   flags.add_bool("list-policies", &list_policies,
@@ -153,6 +157,7 @@ int main(int argc, char** argv) {
       (overrides.empty() || spec.apply_line("set " + overrides, &error)) &&
       (cluster.empty() || spec.apply_line("cluster " + cluster, &error)) &&
       (!stream || spec.apply_line("stream on", &error)) &&
+      (!malleable || spec.apply_line("malleable on", &error)) &&
       (nodes == 0 || spec.apply_line("nodes " + std::to_string(nodes), &error)) &&
       (trials == 0 || spec.apply_line("trials " + std::to_string(trials), &error)) &&
       (base_seed < 0 || spec.apply_line("base_seed " + std::to_string(base_seed), &error)) &&
@@ -180,11 +185,16 @@ int main(int argc, char** argv) {
   // scenario goldens stay byte-identical.
   const bool with_faults =
       !spec.faults.empty() || spec.config_overrides.count("fault.mtbf") > 0;
+  // Same gating for the resize columns: rigid-scenario goldens never change.
+  const bool with_malleable = spec.malleable_configured();
   std::vector<std::string> header = {"trial", "trace", "policy", "jobs", "completed",
                                      "makespan", "t_exe", "t_cpu", "t_page", "t_que", "t_mig",
                                      "avg_slowdown", "idle_mb", "skew"};
   if (with_faults) {
     header.insert(header.end(), {"crashes", "killed", "restarts", "xfail", "avail"});
+  }
+  if (with_malleable) {
+    header.insert(header.end(), {"resizes", "width_time", "blocked_saved"});
   }
   Table table(header);
   for (int trial = 0; trial < run->num_trials; ++trial) {
@@ -205,6 +215,15 @@ int main(int argc, char** argv) {
           row.push_back(std::to_string(report.job_restarts));
           row.push_back(std::to_string(report.transfer_failures));
           row.push_back(Table::fmt(report.availability, 4));
+        }
+        if (with_malleable) {
+          double blocked_saved = 0.0;
+          for (const auto& [key, value] : report.policy_stats) {
+            if (key == "blocked_time_saved") blocked_saved = value;
+          }
+          row.push_back(std::to_string(report.resizes));
+          row.push_back(Table::fmt(report.width_time_product, 1));
+          row.push_back(Table::fmt(blocked_saved, 1));
         }
         table.add_row(row);
       }

@@ -37,9 +37,20 @@ fi
 
 # The streaming-arrival benches are the evidence for the pull-based pump
 # (DESIGN.md §14): SWF line-parse throughput and the streamed counterpart of
-# the 1024-node end-to-end run; same rule.
+# the 1024-node end-to-end run; same rule. No closing quote in the pattern:
+# arg'd benchmarks are named "BM_Foo/0", so "BM_Foo\"" would never match.
 for required in BM_SwfParse BM_StreamingArrivals; do
-  if ! grep -q "\"${required}\"" "${out_json}"; then
+  if ! grep -q "\"${required}" "${out_json}"; then
+    echo "error: ${out_json} is missing ${required}" >&2
+    exit 1
+  fi
+done
+
+# The malleable benches are the evidence for the width-reconfiguration axis
+# (DESIGN.md §15): the isolated resize-cycle micro and the rigid-vs-malleable
+# end-to-end pair; same rule.
+for required in BM_MalleableResize BM_MalleableEndToEnd; do
+  if ! grep -q "\"${required}" "${out_json}"; then
     echo "error: ${out_json} is missing ${required}" >&2
     exit 1
   fi

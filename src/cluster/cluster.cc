@@ -26,7 +26,8 @@ Cluster::Cluster(sim::Simulator& sim, ClusterConfig config, SchedulerPolicy& pol
       rng_(config_.seed),
       last_pressure_callback_(config_.num_nodes(), -1e18),
       restart_policy_(parse_restart_policy(config_.fault_restart).value_or(RestartPolicy::kLose)),
-      failed_since_(config_.num_nodes(), -1.0) {
+      failed_since_(config_.num_nodes(), -1.0),
+      last_resize_start_(config_.num_nodes(), -1e18) {
   nodes_.reserve(config_.num_nodes());
   for (std::size_t i = 0; i < config_.num_nodes(); ++i) {
     nodes_.push_back(
@@ -76,6 +77,8 @@ void Cluster::arrive(const workload::JobSpec& spec, workload::JobSpec* stream_sl
   job->phase = JobPhase::kPending;
   job->accounted_until = sim_.now();
   job->demand = spec.memory.demand_at(0.0);
+  job->width = spec.initial_width();  // malleable jobs submit at max width
+  job->resize_target = job->width;
   RunningJob& ref = *job;
   pending_.push_back(std::move(job));
   policy_.on_job_arrival(*this, ref);
@@ -164,7 +167,8 @@ void Cluster::place_local(RunningJob& job, NodeId node_id) {
   owned->accounted_until = now;
   owned->phase = JobPhase::kRunning;
   ++local_placements_;
-  board_.note_placement(node_id, std::max(owned->demand, config_.admission_demand_estimate));
+  board_.note_placement(node_id, std::max(owned->demand, config_.admission_demand_estimate),
+                        owned->width);
   node(node_id).add_job(std::move(owned));
 }
 
@@ -177,8 +181,9 @@ void Cluster::place_remote(RunningJob& job, NodeId node_id) {
   owned->accounted_until = now;
 
   Workstation& dst = node(node_id);
-  dst.add_incoming(owned->id(), owned->demand);
-  board_.note_placement(node_id, std::max(owned->demand, config_.admission_demand_estimate));
+  dst.add_incoming(owned->id(), owned->demand, owned->width);
+  board_.note_placement(node_id, std::max(owned->demand, config_.admission_demand_estimate),
+                        owned->width);
   ++inflight_;
   ++remote_submits_;
 
@@ -228,8 +233,8 @@ bool Cluster::start_migration(NodeId src, JobId job_id, NodeId dst_id) {
 
   const Bytes image = job->demand;
   Workstation& dst = node(dst_id);
-  dst.add_incoming(job_id, image);
-  board_.note_placement(dst_id, image);  // migrated demand is known
+  dst.add_incoming(job_id, image, job->width);  // migration preserves width
+  board_.note_placement(dst_id, image, job->width);  // migrated demand is known
   ++inflight_;
   ++migrations_started_;
   VRC_LOG(kInfo) << "t=" << now << " migrate job " << job_id << " (" << to_megabytes(image)
@@ -296,6 +301,68 @@ bool Cluster::resume_job(NodeId node_id, JobId job_id) {
   return true;
 }
 
+bool Cluster::resize_job(NodeId node_id, JobId job_id, int new_width) {
+  Workstation& host = node(node_id);
+  RunningJob* job = host.find_job(job_id);
+  if (job == nullptr || job->phase != JobPhase::kRunning) return false;
+  const workload::Malleability& contract = job->spec->malleability;
+  if (!contract.resizable()) return false;
+  if (new_width < contract.min_width || new_width > contract.max_width) return false;
+  if (new_width == job->width) return false;
+  if (new_width > job->width &&
+      host.slots_used() + (new_width - job->width) > config_.cpu_threshold) {
+    return false;  // growth must fit under the node's slot threshold
+  }
+
+  const SimTime now = sim_.now();
+  if (config_.resize_min_interval > 0.0 &&
+      now - last_resize_start_[node_id] < config_.resize_min_interval) {
+    return false;  // node-level resize pacing
+  }
+  last_resize_start_[node_id] = now;
+  // Close the accounting gap at the old width; the pause itself lands in
+  // t_mig when the reconfiguration completes (§5: a reconfiguration pause is
+  // transfer-class time, not queueing).
+  job->t_queue += now - job->accounted_until;
+  job->accounted_until = now;
+  const int old_width = job->width;
+  job->resize_target = new_width;
+  host.set_job_width(*job, std::max(old_width, new_width));
+  host.set_job_phase(*job, JobPhase::kResizing);
+  const int incarnation = job->incarnation;
+  ++resizes_started_;
+  metrics::perf_add(&metrics::PerfCounters::resizes_started);
+  VRC_LOG(kInfo) << "t=" << now << " resize job " << job_id << " on node " << node_id << ": "
+                 << old_width << " -> " << new_width << " slots";
+
+  const SimTime fixed =
+      config_.resize_fixed_cost >= 0.0 ? config_.resize_fixed_cost : contract.resize_fixed_cost;
+  const SimTime per_slot = config_.resize_per_slot_cost >= 0.0 ? config_.resize_per_slot_cost
+                                                               : contract.resize_per_slot_cost;
+  const SimTime cost = fixed + per_slot * std::abs(new_width - old_width);
+  owned_events_.push_back(sim_.schedule_at(now + cost, [this, node_id, job_id, incarnation] {
+    Workstation& owner = node(node_id);
+    RunningJob* live = owner.find_job(job_id);
+    if (live == nullptr || live->incarnation != incarnation ||
+        live->phase != JobPhase::kResizing) {
+      // The node died mid-resize: fail_node killed the job (counting the
+      // abort) and a restarted incarnation may even be resident again.
+      // Nothing to deliver.
+      return;
+    }
+    const SimTime done = sim_.now();
+    live->t_mig += done - live->accounted_until;
+    live->accounted_until = done;
+    owner.set_job_width(*live, live->resize_target);
+    owner.set_job_phase(*live, JobPhase::kRunning);
+    ++live->resizes;
+    ++resizes_completed_;
+    metrics::perf_add(&metrics::PerfCounters::resize_completions);
+    policy_.on_resize_complete(*this, *live);
+  }));
+  return true;
+}
+
 void Cluster::set_reserved(NodeId node_id, bool reserved) {
   node(node_id).set_reserved(reserved);
   board_.set_reserved(node_id, reserved);
@@ -336,6 +403,11 @@ void Cluster::fail_node(NodeId node_id) {
       if (job->migration_dst != workload::kInvalidNode) {
         node(job->migration_dst).remove_incoming(job->id());
       }
+    } else if (job->phase == JobPhase::kResizing) {
+      // Killed mid-resize: the paused interval is transfer-class time, and
+      // the scheduled completion aborts via its incarnation check.
+      job->t_mig += gap;
+      ++resizes_aborted_;
     } else {
       job->t_queue += gap;
     }
@@ -346,6 +418,11 @@ void Cluster::fail_node(NodeId node_id) {
     job->node = workload::kInvalidNode;
     job->migration_dst = workload::kInvalidNode;
     job->demand = job->spec->memory.demand_at(0.0);
+    // A restarted incarnation resubmits at the spec width, like a fresh
+    // arrival; the old incarnation's width history is already in
+    // width_seconds.
+    job->width = job->spec->initial_width();
+    job->resize_target = job->width;
     ++job->restarts;
     ++job->incarnation;
     ++jobs_killed_;
@@ -520,6 +597,9 @@ void Cluster::complete_job(std::unique_ptr<RunningJob> job, SimTime now) {
   record.migrations = job->migrations;
   record.remote_submits = job->remote_submits;
   record.restarts = job->restarts;
+  record.resizes = job->resizes;
+  record.malleable = job->spec->malleable();
+  record.width_seconds = job->width_seconds;
   record.final_node = job->node;
   record.working_set = job->spec->working_set();
   completed_.push_back(record);

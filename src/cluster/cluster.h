@@ -67,6 +67,14 @@ class Cluster {
   /// memory and CPU slot; the job makes no progress until resumed.
   bool suspend_job(NodeId node, JobId job_id);
   bool resume_job(NodeId node, JobId job_id);
+  /// Starts an M-Reconfiguration of a running malleable job to `new_width`
+  /// slots on its current node (DESIGN.md §15). The job pauses for the
+  /// spec's resize cost (charged to t_mig like a migration pause) and holds
+  /// max(old, new) slots while in flight: growth reserves up front, a shrink
+  /// releases only at completion. Returns false when the job is missing, not
+  /// running, not resizable, `new_width` is outside [min_width, max_width] or
+  /// unchanged, or growth would overflow the node's slot threshold.
+  bool resize_job(NodeId node, JobId job_id, int new_width);
   /// Sets the virtual-reconfiguration reservation flag on a node.
   void set_reserved(NodeId node, bool reserved);
 
@@ -131,6 +139,11 @@ class Cluster {
   std::uint64_t migrations_started() const { return migrations_started_; }
   std::uint64_t remote_submits() const { return remote_submits_; }
   std::uint64_t local_placements() const { return local_placements_; }
+  std::uint64_t resizes_started() const { return resizes_started_; }
+  std::uint64_t resizes_completed() const { return resizes_completed_; }
+  /// Resizes cut short by their node failing while the width change was in
+  /// flight (the job is killed and re-enqueued like any resident job).
+  std::uint64_t resizes_aborted() const { return resizes_aborted_; }
 
   // --- fault statistics ---
   std::uint64_t node_crashes() const { return node_crashes_; }
@@ -196,6 +209,9 @@ class Cluster {
   std::vector<sim::EventId> owned_events_;
   RestartPolicy restart_policy_ = RestartPolicy::kLose;
   std::vector<SimTime> failed_since_;  // per node; < 0 while the node is up
+  /// Per-node stamp of the last resize start, enforcing
+  /// config.resize_min_interval.
+  std::vector<SimTime> last_resize_start_;
 
   std::unique_ptr<sim::PeriodicTask> tick_task_;
   std::unique_ptr<sim::PeriodicTask> exchange_task_;
@@ -210,6 +226,9 @@ class Cluster {
   std::uint64_t migrations_started_ = 0;
   std::uint64_t remote_submits_ = 0;
   std::uint64_t local_placements_ = 0;
+  std::uint64_t resizes_started_ = 0;
+  std::uint64_t resizes_completed_ = 0;
+  std::uint64_t resizes_aborted_ = 0;
 
   std::uint64_t node_crashes_ = 0;
   std::uint64_t node_recoveries_ = 0;

@@ -237,6 +237,24 @@ bool ClusterConfig::apply_overrides(const std::map<std::string, std::string>& ov
       ok = set_duration(value, &updated.pressure_callback_interval, &expected);
     } else if (key == "migration_cooldown") {
       ok = set_duration(value, &updated.migration_cooldown, &expected);
+    } else if (key == "resize.fixed_cost") {
+      ok = set_duration(value, &updated.resize_fixed_cost, &expected);
+      if (ok && updated.resize_fixed_cost < 0.0) {
+        ok = false;
+        expected = "non-negative duration, e.g. 0.5s";
+      }
+    } else if (key == "resize.per_slot_cost") {
+      ok = set_duration(value, &updated.resize_per_slot_cost, &expected);
+      if (ok && updated.resize_per_slot_cost < 0.0) {
+        ok = false;
+        expected = "non-negative duration, e.g. 0.25s";
+      }
+    } else if (key == "resize.min_interval") {
+      ok = set_duration(value, &updated.resize_min_interval, &expected);
+      if (ok && updated.resize_min_interval < 0.0) {
+        ok = false;
+        expected = "non-negative duration, e.g. 2s (0 disables)";
+      }
     } else if (key == "fault_exposure_knee") {
       ok = set_double(value, &updated.fault_exposure_knee, &expected);
     } else if (key == "stochastic_faults") {
@@ -305,6 +323,10 @@ const std::vector<ClusterConfig::OverrideKeyDoc>& ClusterConfig::override_keys()
       {"policy_period", "duration", "periodic policy pulse (pending retries, drains)"},
       {"pressure_callback_interval", "duration", "min spacing of on_node_pressure per node"},
       {"migration_cooldown", "duration", "min time between outgoing migrations per node"},
+      {"resize.fixed_cost", "duration", "fixed malleable-resize pause; overrides job contracts"},
+      {"resize.per_slot_cost", "duration",
+       "per-slot malleable-resize pause; overrides job contracts"},
+      {"resize.min_interval", "duration", "min spacing of resize starts per node (0 = off)"},
       {"fault_exposure_knee", "double", "knee of the fault-exposure curve (DESIGN.md §5)"},
       {"stochastic_faults", "bool", "Poisson-sample per-tick faults instead of expectation"},
       {"seed", "uint64", "cluster-internal RNG seed (stochastic faults)"},

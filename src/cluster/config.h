@@ -90,6 +90,17 @@ struct ClusterConfig {
   /// Minimum time between two outgoing preemptive migrations from one node.
   SimTime migration_cooldown = 4.0;
 
+  // --- malleable reconfiguration (DESIGN.md §15) ---
+  /// When >= 0, overrides the fixed pause cost of every malleable resize;
+  /// negative (default) uses each job's Malleability contract.
+  SimTime resize_fixed_cost = -1.0;
+  /// When >= 0, overrides the per-slot pause cost of every malleable resize;
+  /// negative (default) uses each job's Malleability contract.
+  SimTime resize_per_slot_cost = -1.0;
+  /// Minimum spacing between resize starts on one node; 0 (default) is
+  /// unlimited. Damps shrink/grow oscillation at the mechanism level.
+  SimTime resize_min_interval = 0.0;
+
   // --- paging model (DESIGN.md §5 substitution 2) ---
   /// Knee of the fault-exposure curve exposure = O / (O + knee). Working
   /// sets cycle (LRU-loop behaviour, [6]): once demand exceeds user memory,

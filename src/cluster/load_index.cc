@@ -16,9 +16,9 @@ void LoadInfoBoard::update(const LoadInfo& info) {
   publish(info.node);
 }
 
-void LoadInfoBoard::note_placement(NodeId node, Bytes estimated_demand) {
+void LoadInfoBoard::note_placement(NodeId node, Bytes estimated_demand, int width) {
   LoadInfo& info = infos_[node];
-  ++info.slots_used;
+  info.slots_used += width;
   info.total_demand += estimated_demand;
   info.idle_memory = std::max<Bytes>(0, info.idle_memory - estimated_demand);
   publish(node);

@@ -53,11 +53,11 @@ class LoadInfoBoard {
   void update(const LoadInfo& info);
 
   /// Sender-side bookkeeping: every scheduler immediately accounts a
-  /// placement it initiated (slot plus estimated demand) against its copy of
-  /// the board, so successive placements spread instead of dog-piling one
-  /// stale "lightly loaded" entry. The *actual* demand remains unknown until
-  /// the next exchange — which is what lets big jobs collide.
-  void note_placement(NodeId node, Bytes estimated_demand);
+  /// placement it initiated (`width` slots plus estimated demand) against its
+  /// copy of the board, so successive placements spread instead of
+  /// dog-piling one stale "lightly loaded" entry. The *actual* demand remains
+  /// unknown until the next exchange — which is what lets big jobs collide.
+  void note_placement(NodeId node, Bytes estimated_demand, int width = 1);
 
   /// Reservations are control-path actions coordinated by the
   /// reconfiguration routine, not subject to exchange staleness: the flag is

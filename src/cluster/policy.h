@@ -58,6 +58,14 @@ class SchedulerPolicy {
     (void)job;
   }
 
+  /// A width reconfiguration finished; `job` is running again at its new
+  /// width and the slots a shrink released are free. The natural moment for
+  /// an M-Reconfiguration policy to retry blocked submissions.
+  virtual void on_resize_complete(Cluster& cluster, RunningJob& job) {
+    (void)cluster;
+    (void)job;
+  }
+
   /// `node` went down (fault injection). Fired after the cluster state is
   /// consistent: resident jobs killed and re-enqueued as pending, the node's
   /// incoming reservations dropped, the board snapshot marked failed.

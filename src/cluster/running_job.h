@@ -20,6 +20,7 @@ enum class JobPhase {
   kRunning,    // active on a workstation
   kMigrating,  // memory image in flight between workstations
   kSuspended,  // swapped out by the suspension baseline policy
+  kResizing,   // width change in flight on its workstation (DESIGN.md §15)
 };
 
 /// Mutable per-job simulation state. Owned by the Cluster (pending) or a
@@ -49,6 +50,19 @@ struct RunningJob {
   int remote_submits = 0;
   int suspensions = 0;
   int restarts = 0;      // times killed by a node failure and restarted
+  int resizes = 0;       // completed width changes (DESIGN.md §15)
+
+  /// Current width in CPU slots on the owning workstation. 1 for every rigid
+  /// job; malleable jobs start at spec->initial_width(). While a resize is in
+  /// flight (phase == kResizing) the job holds max(old, new) slots — the
+  /// grown allocation is reserved up front, the shrunk one released only when
+  /// the reconfiguration completes — and `width` reflects that held maximum.
+  int width = 1;
+  /// Width the in-flight resize lands on; meaningful only while kResizing.
+  int resize_target = 1;
+  /// Integral of width over wall time spent running (slot-seconds): the
+  /// width_time_product report column sums this across jobs.
+  double width_seconds = 0.0;
 
   /// Bumped every time the job is killed and re-enqueued. In-flight transfer
   /// completions capture the value at transfer start; a mismatch at
@@ -93,6 +107,9 @@ struct CompletedJob {
   int migrations = 0;
   int remote_submits = 0;
   int restarts = 0;
+  int resizes = 0;              // completed width changes
+  bool malleable = false;       // spec carried a non-trivial width contract
+  double width_seconds = 0.0;   // integral of width over running wall time
   NodeId final_node = 0;
   Bytes working_set = 0;
 

@@ -28,10 +28,10 @@ bool Workstation::memory_pressured() const {
   return resident_demand() > user_memory() || fault_rate_ > config_->fault_rate_threshold;
 }
 
-bool Workstation::accepts_new_job(Bytes demand_hint) const {
+bool Workstation::accepts_new_job(Bytes demand_hint, int width) const {
   if (failed_) return false;
   if (reserved_) return false;
-  if (!has_free_slot()) return false;
+  if (slots_used() + width > config_->cpu_threshold) return false;
   if (memory_pressured()) return false;
   // The memory threshold of [3]: keep headroom below user memory so running
   // jobs' demand growth does not immediately overcommit the node.
@@ -47,8 +47,12 @@ RunningJob& Workstation::add_job(std::unique_ptr<RunningJob> job) {
     resident_bytes_ += job->demand;
     peak_bytes_ += job->spec->working_set();
     ++active_count_;
+    active_slots_ += job->width;
   }
-  if (job->phase == JobPhase::kRunning) ++runnable_count_;
+  if (job->phase == JobPhase::kRunning) {
+    ++runnable_count_;
+    runnable_slots_ += job->width;
+  }
   jobs_.push_back(std::move(job));
   publish_index();
   return *jobs_.back();
@@ -63,8 +67,12 @@ std::unique_ptr<RunningJob> Workstation::remove_job(JobId id) {
         resident_bytes_ -= job->demand;
         peak_bytes_ -= job->spec->working_set();
         --active_count_;
+        active_slots_ -= job->width;
       }
-      if (job->phase == JobPhase::kRunning) --runnable_count_;
+      if (job->phase == JobPhase::kRunning) {
+        --runnable_count_;
+        runnable_slots_ -= job->width;
+      }
       publish_index();
       return job;
     }
@@ -82,15 +90,31 @@ void Workstation::set_job_phase(RunningJob& job, JobPhase phase) {
     resident_bytes_ -= job.demand;
     peak_bytes_ -= job.spec->working_set();
     --active_count_;
+    active_slots_ -= job.width;
   }
-  if (job.phase == JobPhase::kRunning) --runnable_count_;
+  if (job.phase == JobPhase::kRunning) {
+    --runnable_count_;
+    runnable_slots_ -= job.width;
+  }
   job.phase = phase;
   if (phase != JobPhase::kSuspended) {
     resident_bytes_ += job.demand;
     peak_bytes_ += job.spec->working_set();
     ++active_count_;
+    active_slots_ += job.width;
   }
-  if (phase == JobPhase::kRunning) ++runnable_count_;
+  if (phase == JobPhase::kRunning) {
+    ++runnable_count_;
+    runnable_slots_ += job.width;
+  }
+  publish_index();
+}
+
+void Workstation::set_job_width(RunningJob& job, int width) {
+  if (job.width == width) return;
+  if (job.phase != JobPhase::kSuspended) active_slots_ += width - job.width;
+  if (job.phase == JobPhase::kRunning) runnable_slots_ += width - job.width;
+  job.width = width;
   publish_index();
 }
 
@@ -110,6 +134,8 @@ std::vector<std::unique_ptr<RunningJob>> Workstation::take_all_jobs() {
   peak_bytes_ = 0;
   active_count_ = 0;
   runnable_count_ = 0;
+  active_slots_ = 0;
+  runnable_slots_ = 0;
   publish_index();
   return taken;
 }
@@ -118,21 +144,24 @@ void Workstation::clear_incoming() {
   incoming_.clear();
   incoming_count_ = 0;
   incoming_bytes_ = 0;
+  incoming_slots_ = 0;
   publish_index();
 }
 
-void Workstation::add_incoming(JobId id, Bytes demand) {
-  incoming_.emplace_back(id, demand);
+void Workstation::add_incoming(JobId id, Bytes demand, int width) {
+  incoming_.push_back({id, demand, width});
   ++incoming_count_;
   incoming_bytes_ += demand;
+  incoming_slots_ += width;
   publish_index();
 }
 
 bool Workstation::remove_incoming(JobId id) {
   for (auto it = incoming_.begin(); it != incoming_.end(); ++it) {
-    if (it->first == id) {
+    if (it->id == id) {
       --incoming_count_;
-      incoming_bytes_ -= it->second;
+      incoming_bytes_ -= it->demand;
+      incoming_slots_ -= it->width;
       incoming_.erase(it);
       publish_index();
       return true;
@@ -147,7 +176,13 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
   TickOutcome outcome;
 
   // Sharing state at the start of the interval, from the O(1) aggregates.
+  // Round-robin shares are width-weighted: a width-w job holds w of the
+  // runnable_slots shares. With every width at 1 the slot sum equals the job
+  // count, so the division below is bit-identical to the pre-malleability
+  // model. Context-switch overhead still keys off the *job* count — one wide
+  // job alone does not context-switch against itself.
   const int runnable = runnable_count_;
+  const int runnable_slots = runnable_slots_;
   const double overcommit_now = overcommit();
   const double efficiency = runnable > 1 ? rr_efficiency_ : 1.0;
   const SimTime interval_start = now - dt;
@@ -170,14 +205,18 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
       ++i;
       continue;
     }
-    if (job.phase == JobPhase::kMigrating) {
-      // Attributed to t_mig when the transfer completes.
+    if (job.phase == JobPhase::kMigrating || job.phase == JobPhase::kResizing) {
+      // Attributed to t_mig when the transfer / reconfiguration completes.
       ++i;
       continue;
     }
 
-    // Round-robin share for this job's portion of the interval.
-    const double usable = efficiency * wall / static_cast<double>(runnable);
+    // Round-robin share for this job's portion of the interval: width slots
+    // out of runnable_slots, scaled by the sub-linear parallel speedup for
+    // wide jobs (speedup(1) == 1, so the branch keeps width-1 arithmetic
+    // untouched — DESIGN.md §15).
+    double usable = efficiency * wall / static_cast<double>(runnable_slots);
+    if (job.width > 1) usable *= job.spec->malleability.speedup(job.width);
     // Wall seconds per reference-CPU second: compute time at this node's
     // speed plus page-fault stalls charged against the job's own turn.
     // Fault exposure has a knee (config.fault_exposure_knee): cyclic working
@@ -210,6 +249,7 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
     job.t_page += page_wall;
     job.t_queue += queue_wall;
     job.faults += faults;
+    job.width_seconds += wall * static_cast<double>(job.width);
     job.accounted_until = now;
     const Bytes new_demand = job.demand_now();
     resident_delta += new_demand - job.demand;
@@ -223,6 +263,8 @@ Workstation::TickOutcome Workstation::tick(SimTime now, SimTime dt, sim::Rng& rn
       peak_bytes_ -= done->spec->working_set();
       --active_count_;
       --runnable_count_;
+      active_slots_ -= done->width;
+      runnable_slots_ -= done->width;
       outcome.completed.push_back(std::move(done));
       ++jobs_completed_;
       continue;  // do not advance i; element replaced by the next one
@@ -277,16 +319,25 @@ bool Workstation::aggregates_consistent() const {
   Bytes peak = 0;
   int active = 0;
   int runnable = 0;
+  int active_slots = 0;
+  int runnable_slots = 0;
   for (const auto& job : jobs_) {
     if (job->phase != JobPhase::kSuspended) {
       resident += job->demand;
       peak += job->spec->working_set();
       ++active;
+      active_slots += job->width;
     }
-    if (job->phase == JobPhase::kRunning) ++runnable;
+    if (job->phase == JobPhase::kRunning) {
+      ++runnable;
+      runnable_slots += job->width;
+    }
   }
+  int incoming_slots = 0;
+  for (const auto& res : incoming_) incoming_slots += res.width;
   return resident == resident_bytes_ && peak == peak_bytes_ && active == active_count_ &&
-         runnable == runnable_count_;
+         runnable == runnable_count_ && active_slots == active_slots_ &&
+         runnable_slots == runnable_slots_ && incoming_slots == incoming_slots_;
 }
 
 void Workstation::bind_index(ClusterIndex* index) {

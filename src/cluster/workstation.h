@@ -50,14 +50,19 @@ class Workstation {
   Bytes future_committed() const { return incoming_bytes_ + peak_bytes_; }
 
   // --- occupancy (O(1) aggregates) ---
-  /// Jobs holding a CPU slot (running + migrating; suspended jobs are out).
+  /// Jobs holding CPU slots (running + migrating + resizing; suspended jobs
+  /// are out).
   int active_jobs() const { return active_count_; }
   /// Jobs competing for the CPU right now (phase kRunning).
   int runnable_jobs() const { return runnable_count_; }
-  /// Jobs whose image is being transferred off this node.
+  /// Jobs holding slots without being runnable: images in flight off this
+  /// node plus width changes in progress (both are paused in place).
   int migrating_jobs() const { return active_count_ - runnable_count_; }
-  /// Active jobs plus in-flight placements headed here.
-  int slots_used() const { return active_jobs() + incoming_count_; }
+  /// CPU slots held: width-weighted active jobs plus in-flight placements.
+  /// Equal to active_jobs() + incoming_count() when every width is 1, which
+  /// keeps all pre-malleability behavior bit-identical (DESIGN.md §15).
+  int slots_used() const { return active_slots_ + incoming_slots_; }
+  int free_slots() const { return config_->cpu_threshold - slots_used(); }
   bool has_free_slot() const { return slots_used() < config_->cpu_threshold; }
 
   // --- pressure monitoring ---
@@ -66,9 +71,10 @@ class Workstation {
   /// True when demand exceeds user memory or the fault rate crosses the
   /// configured threshold — the condition that blocks submissions in [3].
   bool memory_pressured() const;
-  /// Admission predicate of the dynamic load sharing scheme: a free job
-  /// slot, some idle memory beyond `demand_hint`, no pressure, not reserved.
-  bool accepts_new_job(Bytes demand_hint = 0) const;
+  /// Admission predicate of the dynamic load sharing scheme: `width` free
+  /// CPU slots, some idle memory beyond `demand_hint`, no pressure, not
+  /// reserved. Width defaults to 1 (every rigid job).
+  bool accepts_new_job(Bytes demand_hint = 0, int width = 1) const;
 
   // --- reservation flag (virtual reconfiguration) ---
   bool reserved() const { return reserved_; }
@@ -101,17 +107,24 @@ class Workstation {
   const std::vector<std::unique_ptr<RunningJob>>& jobs() const { return jobs_; }
 
   /// Transitions a resident job to `phase`, keeping the node's incremental
-  /// aggregates (resident demand, active/runnable counts) in sync. All phase
-  /// changes of jobs owned by a workstation MUST go through this; writing
-  /// job.phase directly desynchronizes the aggregates.
+  /// aggregates (resident demand, active/runnable counts and slots) in sync.
+  /// All phase changes of jobs owned by a workstation MUST go through this;
+  /// writing job.phase directly desynchronizes the aggregates.
   void set_job_phase(RunningJob& job, JobPhase phase);
+
+  /// Changes a resident job's slot width, keeping the width-weighted slot
+  /// aggregates in sync. All width changes of jobs owned by a workstation
+  /// MUST go through this; writing job.width directly desynchronizes
+  /// slots_used() and the published board row.
+  void set_job_width(RunningJob& job, int width);
 
   /// The running job with the largest current memory demand
   /// (find_most_memory_intensive_job() of the paper's framework), or nullptr.
   RunningJob* most_memory_intensive_job();
 
   // --- in-flight placement reservations ---
-  void add_incoming(JobId id, Bytes demand);
+  /// `width` reserves that many CPU slots (1 for every rigid job).
+  void add_incoming(JobId id, Bytes demand, int width = 1);
   /// Releases the reservation for `id`. Returns false (and logs at debug
   /// level) when no such reservation exists — a policy-layer bookkeeping bug.
   bool remove_incoming(JobId id);
@@ -188,9 +201,20 @@ class Workstation {
   Bytes peak_bytes_ = 0;      // vrc:board-visible spec working sets, non-suspended
   int active_count_ = 0;      // vrc:board-visible non-suspended jobs
   int runnable_count_ = 0;    // vrc:board-visible jobs in phase kRunning
+  // Width-weighted slot sums (DESIGN.md §15). Equal to the job counts above
+  // whenever every resident width is 1, so all pre-malleability load signals
+  // are bit-identical.
+  int active_slots_ = 0;      // vrc:board-visible Σ width over non-suspended jobs
+  int runnable_slots_ = 0;    // vrc:board-visible Σ width over kRunning jobs
   int incoming_count_ = 0;    // vrc:board-visible
   Bytes incoming_bytes_ = 0;  // vrc:board-visible
-  std::vector<std::pair<JobId, Bytes>> incoming_;  // vrc:board-visible
+  int incoming_slots_ = 0;    // vrc:board-visible Σ width over reservations
+  struct IncomingReservation {
+    JobId id = 0;
+    Bytes demand = 0;
+    int width = 1;
+  };
+  std::vector<IncomingReservation> incoming_;  // vrc:board-visible
   bool reserved_ = false;  // vrc:board-visible
   bool failed_ = false;    // vrc:board-visible
 

@@ -8,8 +8,9 @@ bool LocalOnly::try_place(Cluster& cluster, RunningJob& job) {
   // pending queue (there is no remote path in this baseline).
   if (home.failed()) return false;
   // Conventional multiprogramming: only the CPU threshold gates admission;
-  // memory oversubscription simply thrashes.
-  if (home.slots_used() < cluster.config().cpu_threshold) {
+  // memory oversubscription simply thrashes. Wide (malleable) jobs need
+  // their full width in slots — width 1 reduces to the old predicate.
+  if (home.slots_used() + job.width <= cluster.config().cpu_threshold) {
     cluster.place_local(job, home.id());
     return true;
   }
@@ -63,7 +64,9 @@ void SuspensionPolicy::on_periodic(Cluster& cluster) {
       suspended_.erase(suspended_.begin() + static_cast<std::ptrdiff_t>(i));
       continue;
     }
-    const bool room = node.slots_used() < cluster.config().cpu_threshold &&
+    // A suspended job resumes at the width it held; the node must have that
+    // many slots free again (width 1 reduces to the old predicate).
+    const bool room = node.slots_used() + job->width <= cluster.config().cpu_threshold &&
                       node.idle_memory() >= job->demand && !node.memory_pressured();
     if (room && cluster.resume_job(entry.node, entry.job)) {
       ++resumes_;

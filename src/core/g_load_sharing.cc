@@ -30,11 +30,11 @@ bool GLoadSharing::try_place(Cluster& cluster, RunningJob& job) {
   // typical working set (or the job's observed footprint, if larger).
   const Bytes hint = std::max(job.demand, cluster.config().admission_demand_estimate);
   Workstation& home = cluster.node(job.home_node);
-  if (home.accepts_new_job(hint)) {
+  if (home.accepts_new_job(hint, job.width)) {
     cluster.place_local(job, home.id());
     return true;
   }
-  if (auto target = find_submission_target(cluster, hint, home.id())) {
+  if (auto target = find_submission_target(cluster, hint, home.id(), job.width)) {
     cluster.place_remote(job, *target);
     return true;
   }
@@ -42,7 +42,7 @@ bool GLoadSharing::try_place(Cluster& cluster, RunningJob& job) {
 }
 
 std::optional<NodeId> GLoadSharing::find_submission_target(Cluster& cluster, Bytes demand_hint,
-                                                           NodeId exclude) const {
+                                                           NodeId exclude, int width) const {
   // Selection trusts the periodically-exchanged board: between exchanges
   // every home scheduler sees the same "lightly loaded" candidates, so
   // bursts of submissions herd onto them — the "unsuitable job submissions"
@@ -54,7 +54,7 @@ std::optional<NodeId> GLoadSharing::find_submission_target(Cluster& cluster, Byt
   const int cpu_threshold = cluster.config().cpu_threshold;
   return index.best_first([&](NodeId n) {
     if (n == exclude || index.pressured(n)) return false;
-    if (index.slots_used(n) >= cpu_threshold) return false;
+    if (index.slots_used(n) + width > cpu_threshold) return false;
     return index.idle(n) > demand_hint;
   });
 }
@@ -67,12 +67,15 @@ std::optional<NodeId> GLoadSharing::find_migration_target(Cluster& cluster,
   metrics::perf_add(&metrics::PerfCounters::migration_scans);
   const cluster::ClusterIndex& index = cluster.board().index();
   const int cpu_threshold = cluster.config().cpu_threshold;
+  // Migration preserves the job's width, so the destination needs that many
+  // free slots (width 1 reduces to the old free-slot predicate).
   return index.best_second([&](NodeId n) {
     if (n == exclude || index.pressured(n)) return false;
-    if (index.slots_used(n) >= cpu_threshold) return false;
+    if (index.slots_used(n) + job.width > cpu_threshold) return false;
     if (index.idle(n) <= 0 || index.idle(n) < job.demand) return false;
     const Workstation& live = cluster.node(n);
-    if (live.failed() || !live.has_free_slot() || live.reserved() || live.memory_pressured()) {
+    if (live.failed() || live.free_slots() < job.width || live.reserved() ||
+        live.memory_pressured()) {
       return false;
     }
     return live.idle_memory() >= job.demand;

@@ -61,9 +61,10 @@ class GLoadSharing : public cluster::SchedulerPolicy {
 
   /// Most lightly loaded workstation (fewest used slots, ties broken by the
   /// largest idle memory) that passes both the board snapshot and the live
-  /// accepts_new_job() check. `exclude` is skipped.
+  /// accepts_new_job() check. `exclude` is skipped; `width` is the slot count
+  /// the job needs (1 for every rigid job).
   std::optional<NodeId> find_submission_target(Cluster& cluster, Bytes demand_hint,
-                                               NodeId exclude) const;
+                                               NodeId exclude, int width = 1) const;
 
   /// Destination able to hold `job` without overcommitting: live idle memory
   /// >= job.demand, a free slot, not pressured, not reserved. Picks the

@@ -1,0 +1,90 @@
+// M-Reconfiguration: malleable grow/shrink as a third reconfiguration axis.
+//
+// The paper's two reconfiguration levers move *jobs* (preemptive migration)
+// or *nodes* (virtual reservation). Malleable jobs expose a third lever: a
+// running job's CPU-slot width can be reconfigured in place. This policy
+// extends G-Loadsharing with it:
+//
+//  * When a submission stays blocked past shrink_threshold and the blocking
+//    is slot-bound (memory admission would pass), running malleable jobs on
+//    the best candidate node are shrunk toward their minimum width until the
+//    freed slots can admit the blocked job.
+//  * When the pending queue is empty and a node has slot headroom, earlier
+//    shrinks are undone: the shrunk job grows back toward its maximum width,
+//    keeping regrow_free_slots slots free for new arrivals.
+//  * Every resize completion retries the blocked queue in FIFO order — the
+//    slots a shrink released become usable exactly then.
+//
+// Rigid workloads (no malleable jobs) make every lever a no-op, so the
+// policy degenerates to G-Loadsharing bit-for-bit. See DESIGN.md §15.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/g_load_sharing.h"
+
+namespace vrc::core {
+
+/// Dynamic load sharing plus malleable width reconfiguration.
+class MReconfiguration : public GLoadSharing {
+ public:
+  struct Options {
+    GLoadSharing::Options base;
+    /// How long a submission must stay blocked before running malleable
+    /// jobs are shrunk to admit it (0 shrinks on the first periodic pulse).
+    SimTime shrink_threshold = 0.5;
+    /// Slots kept free on a node after a re-grow, so growth does not
+    /// immediately re-block the next submission.
+    int regrow_free_slots = 1;
+    /// Minimum spacing between policy-initiated resizes on one node; damps
+    /// shrink/grow oscillation.
+    SimTime resize_cooldown = 2.0;
+  };
+
+  MReconfiguration() : MReconfiguration(Options{}) {}
+  explicit MReconfiguration(Options options)
+      : GLoadSharing(options.base), options_(options) {}
+
+  const char* name() const override { return "M-Reconfiguration"; }
+
+  void attach(Cluster& cluster) override;
+  void on_periodic(Cluster& cluster) override;
+  void on_resize_complete(Cluster& cluster, RunningJob& job) override;
+  void on_migration_complete(Cluster& cluster, RunningJob& job) override;
+
+  // --- policy statistics ---
+  std::uint64_t shrinks_started() const { return shrinks_started_; }
+  std::uint64_t grows_started() const { return grows_started_; }
+  /// Model-based estimate of blocked wall time avoided by shrinking: at each
+  /// shrink wave, the blocked job would otherwise have waited for the
+  /// earliest completion on the chosen node; the estimate credits that wait
+  /// minus the reconfiguration pause. Observability only — never read by
+  /// scheduling decisions.
+  double blocked_time_saved() const { return blocked_time_saved_; }
+  std::vector<std::pair<std::string, double>> stats() const override;
+
+ private:
+  struct Shrunk {
+    NodeId node;
+    JobId job;
+  };
+
+  /// Starts shrinks on the best slot-bound candidate node until the freed
+  /// slots can admit `job`. Returns true when at least one shrink started.
+  bool shrink_to_admit(Cluster& cluster, RunningJob& job);
+  /// Grows previously shrunk jobs back while the pending queue is empty.
+  void maybe_regrow(Cluster& cluster);
+  bool cooled_down(Cluster& cluster, NodeId node) const;
+
+  Options options_;
+  std::vector<SimTime> last_resize_;  // per-node policy cooldown stamp
+  /// Jobs this policy shrunk and still owes a re-grow (entries are dropped
+  /// once back at max width, or when the job completes or is killed).
+  std::vector<Shrunk> shrunk_;
+  std::uint64_t shrinks_started_ = 0;
+  std::uint64_t grows_started_ = 0;
+  double blocked_time_saved_ = 0.0;
+};
+
+}  // namespace vrc::core

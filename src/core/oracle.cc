@@ -8,9 +8,10 @@ Bytes OracleDemands::future_committed(const Workstation& node) const {
   return node.future_committed();
 }
 
-bool OracleDemands::oracle_accepts(const Cluster& cluster, const Workstation& node,
-                                   Bytes peak) const {
-  if (node.failed() || node.reserved() || !node.has_free_slot() || node.memory_pressured()) {
+bool OracleDemands::oracle_accepts(const Cluster& cluster, const Workstation& node, Bytes peak,
+                                   int width) const {
+  if (node.failed() || node.reserved() || node.free_slots() < width ||
+      node.memory_pressured()) {
     return false;
   }
   const Bytes limit = static_cast<Bytes>(cluster.config().memory_threshold *
@@ -23,7 +24,7 @@ bool OracleDemands::try_place_oracle(Cluster& cluster, RunningJob& job) {
   // working sets, so no placement can ever grow into a collision.
   const Bytes peak = job.spec->working_set();
   Workstation& home = cluster.node(job.home_node);
-  if (oracle_accepts(cluster, home, peak)) {
+  if (oracle_accepts(cluster, home, peak, job.width)) {
     cluster.place_local(job, home.id());
     return true;
   }
@@ -31,7 +32,7 @@ bool OracleDemands::try_place_oracle(Cluster& cluster, RunningJob& job) {
   // live index's min-peak heap, filtered by the oracle admission predicate.
   const auto best = cluster.live_index().best_second([&](NodeId n) {
     if (n == home.id()) return false;
-    return oracle_accepts(cluster, cluster.node(n), peak);
+    return oracle_accepts(cluster, cluster.node(n), peak, job.width);
   });
   if (best) {
     cluster.place_remote(job, *best);

@@ -29,7 +29,8 @@ class OracleDemands : public GLoadSharing {
   /// Sum of the *peak* working sets of everything on (or headed to) the
   /// node: what the node's demand will grow into.
   Bytes future_committed(const Workstation& node) const;
-  bool oracle_accepts(const Cluster& cluster, const Workstation& node, Bytes peak) const;
+  bool oracle_accepts(const Cluster& cluster, const Workstation& node, Bytes peak,
+                      int width = 1) const;
   bool try_place_oracle(Cluster& cluster, RunningJob& job);
 };
 

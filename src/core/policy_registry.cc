@@ -7,6 +7,7 @@
 
 #include "core/baselines.h"
 #include "core/g_load_sharing.h"
+#include "core/m_reconfiguration.h"
 #include "core/oracle.h"
 #include "core/v_reconfiguration.h"
 
@@ -201,6 +202,18 @@ std::unique_ptr<cluster::SchedulerPolicy> make_v_reconfiguration(const PolicyPar
   return std::make_unique<VReconfiguration>(options);
 }
 
+std::unique_ptr<cluster::SchedulerPolicy> make_m_reconfiguration(const PolicyParams& params,
+                                                                 std::string* error) {
+  ParamReader reader("m-reconfiguration", params);
+  MReconfiguration::Options options;
+  reader.read_bool("enable_migration", &options.base.enable_migration);
+  reader.read_duration("shrink_threshold", &options.shrink_threshold);
+  reader.read_int("regrow_free_slots", &options.regrow_free_slots);
+  reader.read_duration("resize_cooldown", &options.resize_cooldown);
+  if (!reader.finish(error)) return nullptr;
+  return std::make_unique<MReconfiguration>(options);
+}
+
 std::unique_ptr<cluster::SchedulerPolicy> make_local_only(const PolicyParams& params,
                                                           std::string* error) {
   ParamReader reader("local-only", params);
@@ -249,6 +262,15 @@ void register_builtins(PolicyRegistry& registry) {
        {"reserve_timeout", "duration", "120s", "abandon a reserving period after this long"},
        {"timeout_backoff", "duration", "120s", "pause after an abandoned reserving period"}},
       {"vrecon", "v-reconfiguration"});
+  registry.register_policy(
+      "m-reconfiguration", make_m_reconfiguration,
+      {migration,
+       {"shrink_threshold", "duration", "0.5s",
+        "how long a submission stays blocked before malleable jobs are shrunk"},
+       {"regrow_free_slots", "int", "1", "slots kept free on a node after a re-grow"},
+       {"resize_cooldown", "duration", "2s",
+        "min spacing between policy-initiated resizes per node"}},
+      {"mrecon", "m-reconf"});
   registry.register_policy("local-only", make_local_only, {}, {"local"});
   registry.register_policy(
       "suspension", make_suspension,

@@ -53,7 +53,7 @@ bool VReconfiguration::handle_blocking(Cluster& cluster, Workstation& node) {
       static_cast<Bytes>(options_.growth_headroom * static_cast<double>(big->demand));
 
   // (1) An existing reserved workstation with enough available resources.
-  if (Reservation* usable = find_usable_reservation(cluster, needed)) {
+  if (Reservation* usable = find_usable_reservation(cluster, needed, big->width)) {
     if (cluster.start_migration(node.id(), big->id(), usable->node)) {
       ++reserved_migrations_;
       usable->state = ReservationState::kServing;
@@ -147,13 +147,17 @@ bool VReconfiguration::has_draining_reservation() const {
 }
 
 VReconfiguration::Reservation* VReconfiguration::find_usable_reservation(Cluster& cluster,
-                                                                         Bytes demand) {
+                                                                         Bytes demand,
+                                                                         int width) {
+  // Migration preserves the big job's width; the reserved node must hold it.
   for (Reservation& reservation : reservations_) {
     Workstation& node = cluster.node(reservation.node);
     if (node.failed()) continue;
     const bool drained =
         reservation.state == ReservationState::kServing || node.active_jobs() == 0;
-    if (drained && node.has_free_slot() && node.idle_memory() >= demand) return &reservation;
+    if (drained && node.free_slots() >= width && node.idle_memory() >= demand) {
+      return &reservation;
+    }
   }
   return nullptr;
 }
@@ -171,7 +175,7 @@ void VReconfiguration::complete_drain(Cluster& cluster, Reservation& reservation
   Workstation& target = cluster.node(reservation.node);
   const Bytes needed =
       static_cast<Bytes>(options_.growth_headroom * static_cast<double>(big->demand));
-  if (target.idle_memory() < needed || !target.has_free_slot()) return;
+  if (target.idle_memory() < needed || target.free_slots() < big->width) return;
   if (cluster.start_migration(src, big->id(), reservation.node)) {
     ++reserved_migrations_;
     reservation.state = ReservationState::kServing;
@@ -254,7 +258,7 @@ void VReconfiguration::maintain_reservations(Cluster& cluster) {
       if (!ready && options_.early_release) {
         NodeId src = 0;
         RunningJob* big = find_cluster_big_job(cluster, &src);
-        ready = big != nullptr && node.has_free_slot() &&
+        ready = big != nullptr && node.free_slots() >= big->width &&
                 node.idle_memory() >= static_cast<Bytes>(options_.growth_headroom *
                                                          static_cast<double>(big->demand));
       }

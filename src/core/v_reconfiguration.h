@@ -133,7 +133,7 @@ class VReconfiguration : public GLoadSharing {
   void maintain_reservations(Cluster& cluster);
 
   bool has_draining_reservation() const;
-  Reservation* find_usable_reservation(Cluster& cluster, Bytes demand);
+  Reservation* find_usable_reservation(Cluster& cluster, Bytes demand, int width = 1);
 
   Options options_;
   std::vector<Reservation> reservations_;

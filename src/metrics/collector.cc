@@ -61,6 +61,11 @@ RunReport Collector::report(const std::string& trace_name, const std::string& po
     report.total_queue += job.t_queue;
     report.total_migration += job.t_mig;
     report.total_faults += job.faults;
+    if (job.malleable) {
+      ++report.malleable_jobs;
+      report.width_time_product += job.width_seconds;
+    }
+    report.resizes += static_cast<std::uint64_t>(job.resizes);
     slowdowns.add(job.slowdown());
     slowdown_stats.add(job.slowdown());
   }
@@ -81,6 +86,8 @@ RunReport Collector::report(const std::string& trace_name, const std::string& po
   if (!report.balance_skew.empty()) {
     report.avg_balance_skew = report.balance_skew.front().average;
   }
+
+  report.resizes_aborted = cluster_.resizes_aborted();
 
   report.migrations = cluster_.migrations_started();
   report.remote_submits = cluster_.remote_submits();

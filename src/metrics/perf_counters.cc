@@ -37,6 +37,8 @@ void PerfCounters::merge(const PerfCounters& other) {
   submission_scans += other.submission_scans;
   migration_scans += other.migration_scans;
   reservation_scans += other.reservation_scans;
+  resizes_started += other.resizes_started;
+  resize_completions += other.resize_completions;
   stream_arrivals += other.stream_arrivals;
   spec_slots_recycled += other.spec_slots_recycled;
   if (other.peak_live_specs > peak_live_specs) peak_live_specs = other.peak_live_specs;
@@ -61,6 +63,8 @@ std::vector<std::pair<const char*, std::uint64_t>> PerfCounters::entries() const
       {"submission_scans", submission_scans},
       {"migration_scans", migration_scans},
       {"reservation_scans", reservation_scans},
+      {"resizes_started", resizes_started},
+      {"resize_completions", resize_completions},
       {"stream_arrivals", stream_arrivals},
       {"spec_slots_recycled", spec_slots_recycled},
       {"peak_live_specs", peak_live_specs},

@@ -50,6 +50,9 @@ struct PerfCounters {
   std::uint64_t submission_scans = 0;
   std::uint64_t migration_scans = 0;
   std::uint64_t reservation_scans = 0;
+  // M-Reconfiguration (malleable width changes, DESIGN.md §15).
+  std::uint64_t resizes_started = 0;
+  std::uint64_t resize_completions = 0;
   // Streaming arrival pump (Cluster::submit_source).
   std::uint64_t stream_arrivals = 0;       // specs pulled from an ArrivalSource
   std::uint64_t spec_slots_recycled = 0;   // free-list hits (slab reuse)

@@ -31,6 +31,11 @@ std::string describe(const RunReport& report) {
        << " cpu-s, downtime=" << report.downtime_node_seconds
        << " node-s, availability=" << report.availability << '\n';
   }
+  if (report.malleable_jobs > 0) {
+    os << "  malleable: jobs=" << report.malleable_jobs << " resizes=" << report.resizes
+       << " aborted=" << report.resizes_aborted
+       << " width-time=" << report.width_time_product << " slot-s\n";
+  }
   if (report.streamed) {
     os << "  streamed: peak live specs=" << report.peak_live_specs << '\n';
   }

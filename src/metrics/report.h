@@ -76,6 +76,19 @@ struct RunReport {
   /// Fraction of node-time the cluster was up: 1 - downtime / (N * elapsed).
   double availability = 1.0;
 
+  // Malleable reconfiguration outcomes (DESIGN.md §15). All zero on a rigid
+  // workload, so pre-malleability report renderings stay byte-identical.
+  /// Completed jobs whose spec carried a resizable malleability contract.
+  std::uint64_t malleable_jobs = 0;
+  /// Width reconfigurations that ran to completion (sum over completed jobs).
+  std::uint64_t resizes = 0;
+  /// Resizes cut short by the owning node failing mid-flight.
+  std::uint64_t resizes_aborted = 0;
+  /// Integral of width over running time, slot-seconds: the slot-time a rigid
+  /// run of the same jobs would have pinned is jobs * max_width * runtime;
+  /// the gap is capacity malleability handed back to the cluster.
+  double width_time_product = 0.0;
+
   // Streaming-pump statistics (DESIGN.md §14): false/0 on materialized runs,
   // so pre-streaming report renderings stay byte-identical.
   bool streamed = false;

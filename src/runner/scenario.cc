@@ -48,8 +48,8 @@ bool parse_uint64(const std::string& value, std::uint64_t* out) {
 }
 
 constexpr const char* kKnownDirectives =
-    "trace, policy, cluster, nodes, set, fault, stream, trials, base_seed, "
-    "sampling_interval, max_sim_time";
+    "trace, policy, cluster, nodes, set, fault, stream, malleable, trials, "
+    "base_seed, sampling_interval, max_sim_time";
 
 }  // namespace
 
@@ -195,6 +195,16 @@ bool ScenarioSpec::apply_line(const std::string& raw, std::string* error) {
     }
     return true;
   }
+  if (directive == "malleable") {
+    if (arg == "on") {
+      malleable = true;
+    } else if (arg == "off") {
+      malleable = false;
+    } else {
+      return fail(error, "malleable '" + arg + "' unknown (expected on or off)");
+    }
+    return true;
+  }
   if (directive == "trials") {
     long value = 0;
     if (!parse_positive_int(arg, &value)) {
@@ -231,6 +241,14 @@ bool ScenarioSpec::apply_line(const std::string& raw, std::string* error) {
   }
   return fail(error, "unknown scenario directive '" + directive + "' (known directives: " +
                          kKnownDirectives + ")");
+}
+
+bool ScenarioSpec::malleable_configured() const {
+  if (malleable) return true;
+  for (const workload::TraceSpec& trace : traces) {
+    if (trace.malleable_fraction > 0.0) return true;
+  }
+  return false;
 }
 
 bool ScenarioSpec::validate(std::string* error) const {
@@ -382,6 +400,12 @@ std::optional<SweepGrid> to_grid(const ScenarioSpec& spec, std::string* error) {
   for (int trial = 0; trial < spec.trials; ++trial) {
     for (const workload::TraceSpec& base : spec.traces) {
       workload::TraceSpec varied = base;
+      // `malleable on` defaults generated traces without their own malleable=
+      // fraction to all-malleable [1, 2] jobs; SWF replays stay rigid (their
+      // widths come from the log, not the generator).
+      if (spec.malleable && !varied.is_swf() && varied.malleable_fraction == 0.0) {
+        varied.malleable_fraction = 1.0;
+      }
       if (trial > 0 && !varied.is_swf()) {
         std::uint64_t effective = varied.seed;
         if (effective == 0) {

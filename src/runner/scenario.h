@@ -57,6 +57,14 @@ struct ScenarioSpec {
   /// fingerprint-identical results either way (the streamed source replays
   /// the identical RNG stream); memory stays O(concurrent jobs) per cell.
   bool stream = false;
+  /// Malleable mode (`malleable on`): every generated trace that does not
+  /// carry its own malleable= fraction is built with malleable jobs
+  /// (fraction 1, widths [1, 2]) so the width-reconfiguration levers have
+  /// material to act on. Off (the default) leaves every trace exactly as
+  /// written — a scenario without malleable jobs stays bit-identical to
+  /// pre-malleability builds. Resize costs are tuned separately via
+  /// `set resize.fixed_cost=... / resize.per_slot_cost=...` (DESIGN.md §15).
+  bool malleable = false;
   /// Independent repetitions. Trial 0 runs each trace exactly as specified;
   /// trial t > 0 regenerates it with its effective seed shifted by t.
   int trials = 1;
@@ -69,6 +77,11 @@ struct ScenarioSpec {
   double max_sim_time = 500000.0;
 
   bool operator==(const ScenarioSpec&) const = default;
+
+  /// True when any cell of this scenario can contain malleable jobs (the
+  /// `malleable on` directive, or a trace with an explicit malleable=
+  /// fraction). Drivers use it to decide whether to print resize columns.
+  bool malleable_configured() const;
 
   /// Applies one spec-file directive ("policy v-reconf:early_release=0",
   /// "set memory_threshold=0.9", ...). Comments (#) and blank lines are

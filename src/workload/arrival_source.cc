@@ -34,6 +34,7 @@ GeneratedStreamSource::GeneratedStreamSource(TraceParams params) : params_(std::
   pick_rng_ = rng.fork();
   jitter_rng_ = rng.fork();
   node_rng_ = rng.fork();
+  malleable_rng_ = rng.fork();
 
   arrivals_.resize(params_.num_jobs);
   for (SimTime& t : arrivals_) {
@@ -83,6 +84,12 @@ std::optional<JobSpec> GeneratedStreamSource::next() {
   job.cpu_seconds = program->lifetime * life_jitter;
   job.touch_rate = program->touch_rate;
   job.memory = program->profile().scaled(ws_jitter);
+  if (params_.malleable_fraction > 0.0 &&
+      malleable_rng_.uniform() < params_.malleable_fraction) {
+    job.malleability.min_width = params_.malleable_min_width;
+    job.malleability.max_width = params_.malleable_max_width;
+    job.malleability.speedup_alpha = params_.malleable_speedup_alpha;
+  }
   return job;
 }
 

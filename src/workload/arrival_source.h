@@ -94,6 +94,7 @@ class GeneratedStreamSource : public ArrivalSource {
   sim::Rng pick_rng_;
   sim::Rng jitter_rng_;
   sim::Rng node_rng_;
+  sim::Rng malleable_rng_;
   std::vector<double> weights_;
   double total_weight_ = 0.0;
   std::size_t next_index_ = 0;

@@ -117,11 +117,19 @@ void SwfTraceSource::advance() {
         static_cast<NodeId>(static_cast<std::uint64_t>(std::max(raw[0], 0.0)) %
                             std::max<std::uint32_t>(options_.num_nodes, 1));
     job.cpu_seconds = run_time;
-    job.touch_rate = 0.0;  // archive logs carry no paging signal
     const Bytes per_cpu = mem_kb_per_proc > 0.0
                               ? static_cast<Bytes>(mem_kb_per_proc * 1024.0)
                               : options_.default_mem_per_cpu;
-    job.memory = MemoryProfile::constant(per_cpu * static_cast<Bytes>(procs));
+    const Bytes working_set = per_cpu * static_cast<Bytes>(procs);
+    if (options_.synthesize_profile) {
+      // profile=ramp: the archive memory field becomes a ramp-up working set
+      // with a footprint-proportional page-touch rate (DESIGN.md §14.4).
+      job.touch_rate = options_.profile_touch_rate_per_mb * to_megabytes(working_set);
+      job.memory = MemoryProfile::ramp_to(working_set, options_.profile_ramp_fraction);
+    } else {
+      job.touch_rate = 0.0;  // archive logs carry no paging signal
+      job.memory = MemoryProfile::constant(working_set);
+    }
     lookahead_ = std::move(job);
     return;
   }

@@ -49,6 +49,20 @@ struct SwfOptions {
   WorkloadGroup group = WorkloadGroup::kSpec;
   /// Trace-name override; empty derives the name from the file stem.
   std::string name;
+  /// Synthesize a paging signal from the archive memory field (the `profile=
+  /// ramp` TraceSpec param; DESIGN.md §14.4). Off (default) replays the log
+  /// as before — constant working set, touch_rate 0 — byte-identically. On,
+  /// each job's memory becomes a ramp-up profile to the recorded working set
+  /// and its page-touch rate scales with the per-process footprint, so
+  /// memory-aware policies stop tying on real-trace replays.
+  bool synthesize_profile = false;
+  /// Ramp fraction of the synthetic profile (share of the lifetime spent
+  /// growing to the recorded working set).
+  double profile_ramp_fraction = 0.2;
+  /// Page touches per CPU-second per MB of working set for synthetic
+  /// profiles; 12/MB sits inside the Table 1 catalog range (gzip ~10/MB,
+  /// apsi ~31/MB).
+  double profile_touch_rate_per_mb = 12.0;
 };
 
 /// Streams an SWF log as an ArrivalSource.

@@ -47,12 +47,22 @@ Trace generate_trace(const TraceParams& params) {
                  params.program_weights.size(), programs.size());
     std::abort();
   }
+  if (params.malleable_min_width < 1 ||
+      params.malleable_max_width < params.malleable_min_width) {
+    std::fprintf(stderr, "generate_trace: bad malleable width range [%d, %d]\n",
+                 params.malleable_min_width, params.malleable_max_width);
+    std::abort();
+  }
 
   sim::Rng rng(params.seed);
   sim::Rng arrival_rng = rng.fork();
   sim::Rng pick_rng = rng.fork();
   sim::Rng jitter_rng = rng.fork();
   sim::Rng node_rng = rng.fork();
+  // Fifth fork, appended after the original four so their streams — and
+  // therefore every field of a malleability-free trace — are untouched.
+  // GeneratedStreamSource forks in the same order (streamed == materialized).
+  sim::Rng malleable_rng = rng.fork();
 
   // Arrival times: num_jobs draws from the truncated lognormal, sorted.
   std::vector<SimTime> arrivals(params.num_jobs);
@@ -97,6 +107,12 @@ Trace generate_trace(const TraceParams& params) {
     job.cpu_seconds = program.lifetime * life_jitter;
     job.touch_rate = program.touch_rate;
     job.memory = program.profile().scaled(ws_jitter);
+    if (params.malleable_fraction > 0.0 &&
+        malleable_rng.uniform() < params.malleable_fraction) {
+      job.malleability.min_width = params.malleable_min_width;
+      job.malleability.max_width = params.malleable_max_width;
+      job.malleability.speedup_alpha = params.malleable_speedup_alpha;
+    }
     jobs.push_back(std::move(job));
   }
 

@@ -41,6 +41,17 @@ struct TraceParams {
   // Optional program-mix override: weights parallel to catalog(group) order.
   // Empty means uniform random selection, matching "randomly submitted".
   std::vector<double> program_weights;
+
+  // --- malleability (DESIGN.md §15) ---
+  // Fraction of jobs generated with a Malleability block (width range
+  // [malleable_min_width, malleable_max_width], submitted at max width).
+  // 0 (the default) draws nothing from the malleability RNG stream and
+  // produces the exact pre-malleability trace bit-for-bit.
+  double malleable_fraction = 0.0;
+  int malleable_min_width = 1;
+  int malleable_max_width = 2;
+  /// Speedup-curve exponent assigned to generated malleable jobs.
+  double malleable_speedup_alpha = 0.8;
 };
 
 /// Index of the paper's five standard traces (1..5 = light..highly intensive).

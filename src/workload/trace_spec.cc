@@ -38,6 +38,7 @@ std::string TraceSpec::print() const {
       out << ",min_runtime=" << min_rt.str();
     }
     if (group != WorkloadGroup::kSpec) out << ",group=" << to_string(group);
+    if (!swf_profile.empty()) out << ",profile=" << swf_profile;
     if (num_nodes != 0) out << ",nodes=" << num_nodes;
     if (!name.empty()) out << ",name=" << name;
     return out.str();
@@ -58,6 +59,22 @@ std::string TraceSpec::print() const {
     items.emplace_back("arrival_scale", scale.str());
   }
   if (seed != 0) items.emplace_back("seed", std::to_string(seed));
+  if (malleable_fraction > 0.0) {
+    std::ostringstream fraction;
+    fraction << malleable_fraction;
+    items.emplace_back("malleable", fraction.str());
+    if (malleable_min_width != 1) {
+      items.emplace_back("malleable_min", std::to_string(malleable_min_width));
+    }
+    if (malleable_max_width != 2) {
+      items.emplace_back("malleable_max", std::to_string(malleable_max_width));
+    }
+    if (malleable_speedup_alpha != 0.8) {
+      std::ostringstream alpha;
+      alpha << malleable_speedup_alpha;
+      items.emplace_back("malleable_alpha", alpha.str());
+    }
+  }
   if (num_nodes != 0) items.emplace_back("nodes", std::to_string(num_nodes));
   if (!name.empty()) items.emplace_back("name", name);
   for (std::size_t i = 0; i < items.size(); ++i) {
@@ -146,6 +163,12 @@ std::optional<TraceSpec> TraceSpec::parse(const std::string& text, std::string* 
           value_error(error, text, key, value, "spec or apps", "apps");
           return std::nullopt;
         }
+      } else if (key == "profile") {
+        if (value != "flat" && value != "ramp") {
+          value_error(error, text, key, value, "flat or ramp", "ramp");
+          return std::nullopt;
+        }
+        spec.swf_profile = value;
       } else if (key == "nodes") {
         const long nodes = std::strtol(value.c_str(), &end, 10);
         if (value.empty() || end == value.c_str() || *end != '\0' || nodes <= 0) {
@@ -161,8 +184,8 @@ std::optional<TraceSpec> TraceSpec::parse(const std::string& text, std::string* 
         spec.name = value;
       } else {
         fail(error, "trace spec '" + text + "': unknown key '" + key +
-                        "' (known swf keys: file, scale, max_jobs, min_runtime, group, nodes, "
-                        "name)");
+                        "' (known swf keys: file, scale, max_jobs, min_runtime, group, profile, "
+                        "nodes, name)");
         return std::nullopt;
       }
     }
@@ -219,6 +242,35 @@ std::optional<TraceSpec> TraceSpec::parse(const std::string& text, std::string* 
         return std::nullopt;
       }
       spec.seed = seed;
+    } else if (key == "malleable") {
+      const double fraction = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == value.c_str() || *end != '\0' || fraction < 0.0 ||
+          fraction > 1.0) {
+        value_error(error, text, key, value, "double in [0, 1]", "0.5");
+        return std::nullopt;
+      }
+      spec.malleable_fraction = fraction;
+    } else if (key == "malleable_min") {
+      const long width = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || width < 1) {
+        value_error(error, text, key, value, "int >= 1", "1");
+        return std::nullopt;
+      }
+      spec.malleable_min_width = static_cast<int>(width);
+    } else if (key == "malleable_max") {
+      const long width = std::strtol(value.c_str(), &end, 10);
+      if (value.empty() || end == value.c_str() || *end != '\0' || width < 1) {
+        value_error(error, text, key, value, "int >= 1", "3");
+        return std::nullopt;
+      }
+      spec.malleable_max_width = static_cast<int>(width);
+    } else if (key == "malleable_alpha") {
+      const double alpha = std::strtod(value.c_str(), &end);
+      if (value.empty() || end == value.c_str() || *end != '\0' || alpha < 0.0 || alpha > 1.0) {
+        value_error(error, text, key, value, "double in [0, 1]", "0.8");
+        return std::nullopt;
+      }
+      spec.malleable_speedup_alpha = alpha;
     } else if (key == "nodes") {
       const long nodes = std::strtol(value.c_str(), &end, 10);
       if (value.empty() || end == value.c_str() || *end != '\0' || nodes <= 0) {
@@ -234,7 +286,8 @@ std::optional<TraceSpec> TraceSpec::parse(const std::string& text, std::string* 
       spec.name = value;
     } else {
       fail(error, "trace spec '" + text + "': unknown key '" + key +
-                      "' (known keys: trace, jobs, duration, arrival_scale, seed, nodes, name)");
+                      "' (known keys: trace, jobs, duration, arrival_scale, seed, malleable, "
+                      "malleable_min, malleable_max, malleable_alpha, nodes, name)");
       return std::nullopt;
     }
   }
@@ -254,10 +307,22 @@ bool TraceSpec::validate(std::string* error) const {
     }
     if (swf_scale <= 0.0) return fail(error, "swf scale must be > 0");
     if (swf_min_runtime < 0.0) return fail(error, "swf min_runtime must be >= 0");
+    if (!swf_profile.empty() && swf_profile != "flat" && swf_profile != "ramp") {
+      return fail(error, "swf profile must be flat or ramp");
+    }
+    if (malleable_fraction != 0.0) {
+      return fail(error, "malleable= applies to generated traces, not swf replays");
+    }
     return true;
   }
-  if (swf_scale != 1.0 || swf_max_jobs != 0 || swf_min_runtime != 0.0) {
+  if (swf_scale != 1.0 || swf_max_jobs != 0 || swf_min_runtime != 0.0 || !swf_profile.empty()) {
     return fail(error, "swf options need the swf group (swf:file=...)");
+  }
+  if (malleable_fraction < 0.0 || malleable_fraction > 1.0) {
+    return fail(error, "malleable fraction must be in [0, 1]");
+  }
+  if (malleable_min_width < 1 || malleable_max_width < malleable_min_width) {
+    return fail(error, "malleable widths need 1 <= malleable_min <= malleable_max");
   }
   if (standard_index != 0 && num_jobs != 0) {
     return fail(error, "trace= and jobs= are mutually exclusive");
@@ -282,6 +347,7 @@ SwfOptions swf_options_of(const TraceSpec& spec, std::uint32_t default_nodes) {
   options.num_nodes = spec.num_nodes != 0 ? spec.num_nodes : default_nodes;
   options.group = spec.group;
   options.name = spec.name;
+  options.synthesize_profile = spec.swf_profile == "ramp";
   return options;
 }
 
@@ -293,6 +359,10 @@ TraceParams TraceSpec::to_params(std::uint32_t default_nodes) const {
   params.group = group;
   params.num_nodes = nodes;
   params.time_scale = 60.0 * arrival_scale;
+  params.malleable_fraction = malleable_fraction;
+  params.malleable_min_width = malleable_min_width;
+  params.malleable_max_width = malleable_max_width;
+  params.malleable_speedup_alpha = malleable_speedup_alpha;
   if (standard_index > 0) {
     const StandardTraceShape shape = standard_trace_shape(standard_index);
     params.sigma = shape.sigma;
@@ -322,7 +392,8 @@ Trace TraceSpec::build(std::uint32_t default_nodes) const {
     return materialize(source);
   }
   const std::uint32_t nodes = num_nodes != 0 ? num_nodes : default_nodes;
-  if (standard_index > 0 && seed == 0 && arrival_scale == 1.0 && name.empty()) {
+  if (standard_index > 0 && seed == 0 && arrival_scale == 1.0 && name.empty() &&
+      malleable_fraction == 0.0) {
     // The exact enum-era path: byte-identical standard traces.
     return standard_trace(group, standard_index, nodes);
   }

@@ -36,6 +36,12 @@ namespace vrc::workload {
 ///                  index) default for standard shapes)
 ///   nodes          int: home-node range; 0 = inherit the scenario's count
 ///   name           string: trace name override
+///   malleable      double 0..1: fraction of jobs generated with a
+///                  Malleability block (DESIGN.md §15); 0 (default) keeps the
+///                  trace bit-identical to the pre-malleability generator
+///   malleable_min  int >= 1: narrowest width of generated malleable jobs
+///   malleable_max  int >= malleable_min: widest width (jobs submit at it)
+///   malleable_alpha double: per-width speedup exponent s(w) = w^alpha
 /// Keys for `swf` (Standard Workload Format replay; DESIGN.md §14):
 ///   file           path to the .swf log (required; relative paths are
 ///                  rebased against the scenario file by ScenarioSpec::load)
@@ -45,6 +51,13 @@ namespace vrc::workload {
 ///   min_runtime    duration: skip jobs shorter than this
 ///   group          spec | apps: workload group the replay is billed to
 ///                  (picks the paper testbed under `cluster auto`)
+///   profile        flat | ramp: memory-profile synthesis. `flat` (default)
+///                  replays the archive memory field as a constant working
+///                  set with no paging signal; `ramp` maps it onto a
+///                  synthetic ramp-up MemoryProfile and derives a page-touch
+///                  rate from the per-process footprint, so the policies'
+///                  paging behavior differentiates on real-trace replays
+///                  (DESIGN.md §14.4)
 ///   nodes, name    as above
 struct TraceSpec {
   WorkloadGroup group = WorkloadGroup::kSpec;
@@ -56,12 +69,20 @@ struct TraceSpec {
   std::uint32_t num_nodes = 0; // 0 = inherit from the caller
   std::string name;            // empty = derived name
 
+  // Malleability of generated jobs (DESIGN.md §15). fraction 0 (default)
+  // never draws from the malleability RNG stream: bit-identical traces.
+  double malleable_fraction = 0.0;
+  int malleable_min_width = 1;
+  int malleable_max_width = 2;
+  double malleable_speedup_alpha = 0.8;
+
   // SWF replay (group token `swf`). A non-empty file selects SWF mode and is
   // mutually exclusive with trace=/jobs=.
   std::string swf_file;
   double swf_scale = 1.0;
   std::size_t swf_max_jobs = 0;
   double swf_min_runtime = 0.0;
+  std::string swf_profile;  // empty/"flat" = archive replay; "ramp" = synthetic
 
   bool operator==(const TraceSpec&) const = default;
 

@@ -1,0 +1,294 @@
+// Width-reconfiguration mechanics (DESIGN.md §15): slot accounting through a
+// resize's in-flight window, the grow/shrink reservation asymmetry, fault
+// interaction (node death mid-resize), the migration/suspend interlock, and
+// the §5 accounting of the reconfiguration pause.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster.h"
+#include "workload/trace.h"
+
+namespace vrc::cluster {
+namespace {
+
+using workload::JobId;
+using workload::JobSpec;
+using workload::MemoryProfile;
+
+JobSpec make_spec(JobId id, double cpu_seconds, Bytes demand, int min_width = 1,
+                  int max_width = 1, workload::NodeId home = 0) {
+  JobSpec spec;
+  spec.id = id;
+  spec.program = "test";
+  spec.submit_time = 0.0;
+  spec.home_node = home;
+  spec.cpu_seconds = cpu_seconds;
+  spec.touch_rate = 0.0;
+  spec.memory = MemoryProfile::constant(demand);
+  spec.malleability.min_width = min_width;
+  spec.malleability.max_width = max_width;
+  return spec;
+}
+
+/// Places every arrival on its home node; optionally leaves arrivals pending.
+class ScriptedPolicy : public SchedulerPolicy {
+ public:
+  explicit ScriptedPolicy(bool place = true) : place_(place) {}
+  const char* name() const override { return "scripted"; }
+  void on_job_arrival(Cluster& cluster, RunningJob& job) override {
+    if (place_) cluster.place_local(job, job.home_node);
+  }
+  void on_resize_complete(Cluster&, RunningJob& job) override {
+    resize_completions.push_back(job.id());
+  }
+  bool place_;
+  std::vector<JobId> resize_completions;
+};
+
+ClusterConfig small_config(std::size_t nodes = 4) {
+  return ClusterConfig::paper_cluster1(nodes);
+}
+
+TEST(ResizeTest, ShrinkHoldsOldWidthUntilCompletion) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 100.0, megabytes(40), /*min=*/1, /*max=*/3));
+  sim.run_until(1.0);
+  ASSERT_EQ(cluster.node(0).slots_used(), 3);  // submitted at max width
+
+  ASSERT_TRUE(cluster.resize_job(0, 1, 1));
+  EXPECT_EQ(cluster.resizes_started(), 1u);
+  RunningJob* job = cluster.node(0).find_job(1);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->phase, JobPhase::kResizing);
+  // A shrink releases its slots only at the reconfiguration point: the old
+  // width stays held through the pause.
+  EXPECT_EQ(job->width, 3);
+  EXPECT_EQ(job->resize_target, 1);
+  EXPECT_EQ(cluster.node(0).slots_used(), 3);
+
+  // Default contract cost: 0.5 fixed + 0.25 * |1 - 3| = 1.0 s.
+  sim.run_until(2.1);
+  EXPECT_EQ(job->phase, JobPhase::kRunning);
+  EXPECT_EQ(job->width, 1);
+  EXPECT_EQ(job->resizes, 1);
+  EXPECT_EQ(cluster.node(0).slots_used(), 1);
+  EXPECT_EQ(cluster.resizes_completed(), 1u);
+  EXPECT_EQ(policy.resize_completions, (std::vector<JobId>{1}));
+}
+
+TEST(ResizeTest, GrowReservesSlotsUpFront) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 100.0, megabytes(40), 1, 3));
+  sim.run_until(1.0);
+  ASSERT_TRUE(cluster.resize_job(0, 1, 1));
+  sim.run_until(3.0);
+  ASSERT_EQ(cluster.node(0).slots_used(), 1);
+
+  // A grow must hold the new width for its whole flight — otherwise another
+  // placement could take the slots the resize is about to occupy.
+  ASSERT_TRUE(cluster.resize_job(0, 1, 3));
+  EXPECT_EQ(cluster.node(0).slots_used(), 3);
+  RunningJob* job = cluster.node(0).find_job(1);
+  ASSERT_NE(job, nullptr);
+  EXPECT_EQ(job->phase, JobPhase::kResizing);
+  sim.run_until(5.0);
+  EXPECT_EQ(job->width, 3);
+  EXPECT_EQ(job->phase, JobPhase::kRunning);
+  EXPECT_EQ(cluster.resizes_completed(), 2u);
+}
+
+TEST(ResizeTest, RefusesInvalidRequests) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 100.0, megabytes(10)));          // rigid
+  cluster.submit_job(make_spec(2, 100.0, megabytes(10), 1, 3));    // malleable
+  sim.run_until(1.0);
+  EXPECT_FALSE(cluster.resize_job(0, 1, 2));   // not resizable
+  EXPECT_FALSE(cluster.resize_job(0, 2, 0));   // below min_width
+  EXPECT_FALSE(cluster.resize_job(0, 2, 4));   // above max_width
+  EXPECT_FALSE(cluster.resize_job(0, 2, 3));   // already at width 3
+  EXPECT_FALSE(cluster.resize_job(0, 99, 2));  // no such job
+  EXPECT_FALSE(cluster.resize_job(1, 2, 2));   // wrong node
+}
+
+TEST(ResizeTest, GrowRefusedWhenSlotsExhausted) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 100.0, megabytes(10), 1, 3));
+  for (JobId id = 2; id <= 5; ++id) {
+    cluster.submit_job(make_spec(id, 100.0, megabytes(10)));
+  }
+  sim.run_until(1.0);
+  ASSERT_TRUE(cluster.resize_job(0, 1, 1));
+  sim.run_until(3.0);
+  // cpu_threshold is 5: four rigid jobs plus the width-1 job fill the node.
+  ASSERT_EQ(cluster.node(0).slots_used(), 5);
+  EXPECT_FALSE(cluster.resize_job(0, 1, 2));
+}
+
+TEST(ResizeTest, ResizeMigrationAndSuspendInterlock) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 100.0, megabytes(40), 1, 3));
+  sim.run_until(1.0);
+  ASSERT_TRUE(cluster.resize_job(0, 1, 1));
+  // All three mechanisms require kRunning, so each excludes the others.
+  EXPECT_FALSE(cluster.resize_job(0, 1, 2));      // already resizing
+  EXPECT_FALSE(cluster.start_migration(0, 1, 1));  // resize in flight
+  EXPECT_FALSE(cluster.suspend_job(0, 1));         // resize in flight
+  sim.run_until(3.0);
+
+  ASSERT_TRUE(cluster.start_migration(0, 1, 1));
+  EXPECT_FALSE(cluster.resize_job(0, 1, 2));  // migration in flight
+  sim.run_until(100.0);
+  ASSERT_TRUE(cluster.suspend_job(1, 1));
+  EXPECT_FALSE(cluster.resize_job(1, 1, 2));  // suspended jobs cannot resize
+}
+
+TEST(ResizeTest, NodeFailureMidShrinkAbortsCleanly) {
+  sim::Simulator sim;
+  ScriptedPolicy policy(/*place=*/false);
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 100.0, megabytes(40), 1, 3));
+  sim.run_until(1.0);
+  cluster.place_local(*cluster.pending_jobs()[0], 0);
+  sim.run_until(2.0);
+  ASSERT_TRUE(cluster.resize_job(0, 1, 1));
+  sim.run_until(2.2);  // resize completes at ~3.0; kill the node before it
+  cluster.fail_node(0);
+
+  EXPECT_EQ(cluster.resizes_aborted(), 1u);
+  EXPECT_EQ(cluster.node(0).slots_used(), 0);
+  ASSERT_EQ(cluster.pending_count(), 1u);
+  RunningJob* job = cluster.pending_jobs()[0];
+  // The restarted incarnation resubmits at the spec width, like a fresh
+  // arrival; the paused interval was charged as transfer-class time.
+  EXPECT_EQ(job->width, 3);
+  EXPECT_EQ(job->resize_target, 3);
+  EXPECT_GT(job->t_mig, 0.19);
+
+  // The in-flight completion event must abort via its incarnation check.
+  sim.run_until(10.0);
+  EXPECT_EQ(job->phase, JobPhase::kPending);
+  EXPECT_EQ(cluster.resizes_completed(), 0u);
+
+  // The job is fully restartable: recover, re-place, run to completion.
+  cluster.recover_node(0);
+  cluster.place_local(*job, 0);
+  EXPECT_EQ(cluster.node(0).slots_used(), 3);
+  sim.run_until(500.0);
+  ASSERT_EQ(cluster.completed().size(), 1u);
+  EXPECT_EQ(cluster.completed()[0].restarts, 1);
+}
+
+TEST(ResizeTest, NodeFailureMidGrowAbortsCleanly) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 100.0, megabytes(40), 1, 3, /*home=*/1));
+  sim.run_until(1.0);
+  ASSERT_TRUE(cluster.resize_job(1, 1, 1));
+  sim.run_until(3.0);
+  ASSERT_TRUE(cluster.resize_job(1, 1, 3));  // grow holds 3 slots in flight
+  ASSERT_EQ(cluster.node(1).slots_used(), 3);
+  cluster.fail_node(1);
+
+  EXPECT_EQ(cluster.resizes_aborted(), 1u);
+  EXPECT_EQ(cluster.node(1).slots_used(), 0);
+  sim.run_until(10.0);  // the grow completion aborts; nothing dangles
+  EXPECT_EQ(cluster.resizes_completed(), 1u);  // only the earlier shrink
+}
+
+TEST(ResizeTest, ResizePauseChargedToMigrationBucket) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 5.0, megabytes(40), 1, 2));
+  sim.run_until(1.0);
+  ASSERT_TRUE(cluster.resize_job(0, 1, 1));
+  sim.run_until(500.0);
+  ASSERT_EQ(cluster.completed().size(), 1u);
+  const CompletedJob& job = cluster.completed()[0];
+  EXPECT_EQ(job.resizes, 1);
+  EXPECT_TRUE(job.malleable);
+  // Contract cost 0.5 + 0.25 * 1 = 0.75 s, billed as reconfiguration time.
+  EXPECT_NEAR(job.t_mig, 0.75, 1e-6);
+  // §5 identity holds through the resize, and the width integral covers the
+  // wide prefix (width 2 for ~1 s) plus the narrow tail.
+  EXPECT_NEAR(job.t_cpu + job.t_page + job.t_queue + job.t_mig, job.wall_clock(), 0.05);
+  EXPECT_GT(job.width_seconds, 1.9);
+}
+
+TEST(ResizeTest, PerNodeMinIntervalPacesResizes) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  ClusterConfig config = small_config();
+  config.resize_min_interval = 10.0;
+  Cluster cluster(sim, config, policy);
+  cluster.submit_job(make_spec(1, 100.0, megabytes(40), 1, 3));
+  sim.run_until(1.0);
+  ASSERT_TRUE(cluster.resize_job(0, 1, 2));
+  sim.run_until(5.0);
+  EXPECT_FALSE(cluster.resize_job(0, 1, 1));  // within the pacing window
+  sim.run_until(11.5);
+  EXPECT_TRUE(cluster.resize_job(0, 1, 1));
+}
+
+TEST(ResizeTest, ConfigCostOverridesContract) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  ClusterConfig config = small_config();
+  config.resize_fixed_cost = 2.0;
+  config.resize_per_slot_cost = 0.0;
+  Cluster cluster(sim, config, policy);
+  cluster.submit_job(make_spec(1, 5.0, megabytes(40), 1, 2));
+  sim.run_until(1.0);
+  ASSERT_TRUE(cluster.resize_job(0, 1, 1));
+  sim.run_until(500.0);
+  ASSERT_EQ(cluster.completed().size(), 1u);
+  EXPECT_NEAR(cluster.completed()[0].t_mig, 2.0, 1e-6);
+}
+
+TEST(ResizeTest, WidthWeightedAdmission) {
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 100.0, megabytes(40), 3, 3));
+  sim.run_until(1.0);
+  const Workstation& node = cluster.node(0);
+  ASSERT_EQ(node.slots_used(), 3);
+  EXPECT_EQ(node.free_slots(), 2);
+  EXPECT_TRUE(node.accepts_new_job(megabytes(10), /*width=*/2));
+  EXPECT_FALSE(node.accepts_new_job(megabytes(10), /*width=*/3));
+}
+
+TEST(ResizeTest, SublinearSpeedupSlowsSoloWideJob) {
+  // A width-2 job alone on a node holds both of its slots but only speeds up
+  // by 2^alpha: with alpha = 0.8 it finishes later than the same work at
+  // width 1, by the 2^0.2 parallel-overhead factor.
+  sim::Simulator sim;
+  ScriptedPolicy policy;
+  Cluster cluster(sim, small_config(), policy);
+  cluster.submit_job(make_spec(1, 10.0, megabytes(10), 2, 2, /*home=*/0));
+  cluster.submit_job(make_spec(2, 10.0, megabytes(10), 1, 1, /*home=*/1));
+  sim.run_until(500.0);
+  ASSERT_EQ(cluster.completed().size(), 2u);
+  double wide_done = 0.0;
+  double narrow_done = 0.0;
+  for (const CompletedJob& job : cluster.completed()) {
+    (job.id == 1 ? wide_done : narrow_done) = job.completion_time;
+  }
+  EXPECT_NEAR(narrow_done, 10.0, 0.05);
+  EXPECT_NEAR(wide_done, 10.0 * std::pow(2.0, 0.2), 0.1);
+}
+
+}  // namespace
+}  // namespace vrc::cluster

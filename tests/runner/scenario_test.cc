@@ -120,6 +120,48 @@ TEST(ScenarioSpecTest, FaultDirectiveRejectsEachFailureClassPrecisely) {
   EXPECT_TRUE(spec.faults.empty());
 }
 
+TEST(ScenarioSpecTest, MalleableDirectiveDefaultsGeneratedTracesOnly) {
+  ScenarioSpec spec;
+  std::string error;
+  EXPECT_FALSE(spec.apply_line("malleable maybe", &error));
+  EXPECT_NE(error.find("expected on or off"), std::string::npos) << error;
+  EXPECT_FALSE(spec.malleable_configured());
+
+  ASSERT_TRUE(spec.apply_line("trace spec:jobs=20,duration=100,seed=3", &error)) << error;
+  ASSERT_TRUE(spec.apply_line("trace spec:jobs=20,duration=100,seed=3,malleable=0.25",
+                              &error))
+      << error;
+  ASSERT_TRUE(spec.apply_line("policy g-loadsharing", &error)) << error;
+  ASSERT_TRUE(spec.apply_line("malleable on", &error)) << error;
+  EXPECT_TRUE(spec.malleable);
+  EXPECT_TRUE(spec.malleable_configured());
+
+  const auto grid = to_grid(spec, &error);
+  ASSERT_TRUE(grid.has_value()) << error;
+  ASSERT_EQ(grid->traces.size(), 2u);
+  // The directive defaults only traces WITHOUT their own malleable= fraction:
+  // the first trace becomes all-malleable (width [1,2] ⇒ every job submits at
+  // width 2), the second keeps its explicit 0.25.
+  std::size_t wide = 0;
+  for (const workload::JobSpec& job : grid->traces[0].trace.jobs()) {
+    EXPECT_TRUE(job.malleable());
+    wide += job.initial_width() > 1 ? 1u : 0u;
+  }
+  EXPECT_EQ(wide, grid->traces[0].trace.size());
+  std::size_t fraction_malleable = 0;
+  for (const workload::JobSpec& job : grid->traces[1].trace.jobs()) {
+    fraction_malleable += job.malleable() ? 1u : 0u;
+  }
+  EXPECT_GT(fraction_malleable, 0u);
+  EXPECT_LT(fraction_malleable, grid->traces[1].trace.size());
+
+  // An explicit per-trace fraction alone also counts as configured.
+  ScenarioSpec per_trace;
+  ASSERT_TRUE(per_trace.apply_line("trace spec:jobs=20,duration=100,malleable=0.5", &error))
+      << error;
+  EXPECT_TRUE(per_trace.malleable_configured());
+}
+
 TEST(ScenarioSpecTest, ValidateCatchesFaultRangeAndOverlapAgainstNodeCount) {
   std::string error;
   // Node 9 does not exist in a 4-node cluster; caught at whole-spec

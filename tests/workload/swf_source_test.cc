@@ -131,6 +131,60 @@ TEST(SwfTraceSourceTest, StatusOnlyLineAccepted) {
   EXPECT_FALSE(source.next().has_value());
 }
 
+TEST(SwfTraceSourceTest, ProfileRampSynthesizesPagingSignal) {
+  // profile=ramp: the archive memory field becomes a ramp-up MemoryProfile
+  // with a footprint-proportional touch rate (DESIGN.md §14.4).
+  SwfOptions options;
+  options.synthesize_profile = true;
+  SwfTraceSource source = make_source(options);
+  std::optional<JobSpec> job = source.next();
+  ASSERT_TRUE(job.has_value());
+  const Bytes working_set = Bytes{2048} * 1024 * 2;  // per-proc KB x 2 procs
+  EXPECT_GT(job->memory.points().size(), 1u);
+  EXPECT_EQ(job->memory.peak(), working_set);
+  EXPECT_DOUBLE_EQ(job->touch_rate,
+                   options.profile_touch_rate_per_mb * to_megabytes(working_set));
+
+  // Job 4 (missing memory -> 16 MB/cpu x 4 procs = 64 MB) is big enough to
+  // clear the ramp's 4 MiB start, so its mid-ramp demand sits strictly below
+  // the plateau.
+  job = source.next();
+  ASSERT_TRUE(job.has_value());
+  const Bytes big_set = SwfOptions{}.default_mem_per_cpu * 4;
+  EXPECT_EQ(job->memory.peak(), big_set);
+  EXPECT_LT(job->memory.demand_at(options.profile_ramp_fraction / 2.0), big_set);
+  EXPECT_EQ(job->memory.demand_at(0.5), big_set);
+}
+
+TEST(SwfTraceSourceTest, DefaultFlatProfileReplaysUnchanged) {
+  // Off (and profile=flat) must replay exactly as before the profile knob
+  // existed: constant working set, no paging signal.
+  SwfTraceSource source = make_source();
+  while (std::optional<JobSpec> job = source.next()) {
+    EXPECT_EQ(job->memory.points().size(), 1u);
+    EXPECT_EQ(job->memory.demand_at(0.0), job->memory.peak());
+    EXPECT_DOUBLE_EQ(job->touch_rate, 0.0);
+  }
+}
+
+TEST(SwfTraceSourceTest, TraceSpecProfileParamSelectsSynthesis) {
+  std::string error;
+  const auto ramp = TraceSpec::parse("swf:file=log.swf,profile=ramp", &error);
+  ASSERT_TRUE(ramp.has_value()) << error;
+  EXPECT_EQ(ramp->swf_profile, "ramp");
+  const auto reparsed = TraceSpec::parse(ramp->print(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(*reparsed, *ramp);
+
+  const auto flat = TraceSpec::parse("swf:file=log.swf,profile=flat", &error);
+  ASSERT_TRUE(flat.has_value()) << error;
+  EXPECT_EQ(flat->swf_profile, "flat");
+
+  EXPECT_FALSE(TraceSpec::parse("swf:file=log.swf,profile=spiky", &error).has_value());
+  EXPECT_NE(error.find("flat or ramp"), std::string::npos) << error;
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=1,profile=ramp", &error).has_value());
+}
+
 TEST(SwfFixtureTest, CommittedExcerptsParse) {
   const std::string dir = std::string(VRC_TEST_DATA_DIR) + "/swf/";
   for (const char* file : {"NASA-iPSC-1993-3.swf", "SDSC-SP2-1998-4.swf"}) {

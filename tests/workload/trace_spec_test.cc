@@ -125,6 +125,65 @@ TEST(TraceSpecTest, GeneratedSpecMatchesHandBuiltTraceParams) {
   EXPECT_EQ(serialize(from_spec), serialize(generate_trace(params)));
 }
 
+TEST(TraceSpecTest, MalleableParamsParsePrintAndValidate) {
+  std::string error;
+  const auto spec = TraceSpec::parse(
+      "spec:jobs=50,duration=300,malleable=0.5,malleable_min=2,malleable_max=4,"
+      "malleable_alpha=0.9",
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_DOUBLE_EQ(spec->malleable_fraction, 0.5);
+  EXPECT_EQ(spec->malleable_min_width, 2);
+  EXPECT_EQ(spec->malleable_max_width, 4);
+  EXPECT_DOUBLE_EQ(spec->malleable_speedup_alpha, 0.9);
+  const auto reparsed = TraceSpec::parse(spec->print(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << spec->print() << ": " << error;
+  EXPECT_EQ(*reparsed, *spec);
+
+  EXPECT_FALSE(TraceSpec::parse("spec:trace=1,malleable=1.5", &error).has_value());
+  EXPECT_NE(error.find("invalid value '1.5' for 'malleable'"), std::string::npos) << error;
+  EXPECT_FALSE(
+      TraceSpec::parse("spec:trace=1,malleable=1,malleable_min=3,malleable_max=2", &error)
+          .has_value());
+  EXPECT_NE(error.find("malleable_min <= malleable_max"), std::string::npos) << error;
+  // The swf grammar has no malleable key (replayed widths come from the log)…
+  EXPECT_FALSE(TraceSpec::parse("swf:file=x.swf,malleable=0.5", &error).has_value());
+  EXPECT_NE(error.find("unknown key 'malleable'"), std::string::npos) << error;
+  // …and a programmatically built swf spec with a fraction fails validation.
+  TraceSpec swf_malleable = TraceSpec::swf("x.swf");
+  swf_malleable.malleable_fraction = 0.5;
+  EXPECT_FALSE(swf_malleable.validate(&error));
+  EXPECT_NE(error.find("generated traces"), std::string::npos) << error;
+}
+
+TEST(TraceSpecTest, MalleableFractionControlsGeneratedContracts) {
+  TraceSpec spec;
+  spec.group = WorkloadGroup::kSpec;
+  spec.num_jobs = 60;
+  spec.duration = 400.0;
+  spec.seed = 9;
+  spec.malleable_fraction = 1.0;
+  spec.malleable_min_width = 1;
+  spec.malleable_max_width = 3;
+  const Trace all = spec.build(8);
+  for (const JobSpec& job : all.jobs()) {
+    EXPECT_TRUE(job.malleable());
+    EXPECT_EQ(job.malleability.min_width, 1);
+    EXPECT_EQ(job.malleability.max_width, 3);
+    EXPECT_EQ(job.initial_width(), 3);
+  }
+
+  // Fraction 0 never draws from the malleability stream: the generated trace
+  // is byte-identical to the pre-malleability generator's output.
+  spec.malleable_fraction = 0.0;
+  TraceSpec plain = spec;
+  plain.malleable_min_width = 1;
+  plain.malleable_max_width = 2;
+  const Trace rigid = spec.build(8);
+  EXPECT_EQ(serialize(rigid), serialize(plain.build(8)));
+  for (const JobSpec& job : rigid.jobs()) EXPECT_FALSE(job.malleable());
+}
+
 TEST(TraceSpecTest, TraceLevelNodesOverrideBeatsDefault) {
   auto spec = TraceSpec::standard(WorkloadGroup::kSpec, 1);
   spec.num_nodes = 4;
